@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one table/figure-equivalent of the paper
+// (see DESIGN.md §3): it prints the paper's claimed row next to the measured
+// value so EXPERIMENTS.md can record paper-vs-measured directly.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mfd::bench {
+
+/// Graph families used across experiments (all H-minor-free except the
+/// negative-instance families).
+inline Graph make_family(const std::string& name, int n, Rng& rng) {
+  if (name == "planar") return random_maximal_planar(n, rng);
+  if (name == "planar-sparse") {
+    return random_planar(n, std::min(3 * n - 6, 2 * n), rng);
+  }
+  if (name == "grid") {
+    int side = 1;
+    while (side * side < n) ++side;
+    return grid_graph(side, side);
+  }
+  if (name == "outerplanar") return random_maximal_outerplanar(n, rng);
+  if (name == "tree") return random_tree(n, rng);
+  if (name == "cycle") return cycle_graph(n);
+  if (name == "path") return path_graph(n);
+  if (name == "cactus") return random_cactus(n, rng);
+  if (name == "ktree3") return random_ktree(n, 3, rng);
+  if (name == "series-parallel") return random_series_parallel(n, rng);
+  std::cerr << "unknown family: " << name << "\n";
+  std::exit(1);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_artifact) {
+  std::cout << "## " << experiment << "\n"
+            << "paper artifact: " << paper_artifact << "\n\n";
+}
+
+}  // namespace mfd::bench

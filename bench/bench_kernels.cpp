@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the core kernels: these are the
+// wall-clock costs of the simulator itself, complementing the round-count
+// experiment harnesses.
+#include <benchmark/benchmark.h>
+
+#include "apps/blossom.hpp"
+#include "apps/exact.hpp"
+#include "congest/cole_vishkin.hpp"
+#include "decomp/heavy_stars.hpp"
+#include "decomp/ldd_local.hpp"
+#include "expander/split.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/planarity.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mfd;
+
+void BM_PlanarityTest(benchmark::State& state) {
+  Rng rng(1);
+  const Graph g = random_maximal_planar(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_planar(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanarityTest)->Range(256, 16384)->Complexity();
+
+void BM_BfsDistances(benchmark::State& state) {
+  Rng rng(2);
+  const Graph g = random_maximal_planar(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(g, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BfsDistances)->Range(256, 16384)->Complexity();
+
+void BM_ColeVishkin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = path_graph(n);
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  parent[0] = -1;
+  for (int v = 1; v < n; ++v) parent[v] = v - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(congest::cole_vishkin_3color(g, parent));
+  }
+}
+BENCHMARK(BM_ColeVishkin)->Range(1024, 65536);
+
+void BM_HeavyStars(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = random_maximal_planar(static_cast<int>(state.range(0)), rng);
+  std::vector<WeightedEdge> edges;
+  for (const auto& [u, v] : g.edges()) edges.push_back({u, v, 1});
+  const WeightedGraph cg(g.n(), edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomp::heavy_stars(cg));
+  }
+}
+BENCHMARK(BM_HeavyStars)->Range(512, 8192);
+
+void BM_LocalLdd(benchmark::State& state) {
+  Rng rng(4);
+  const Graph g = random_maximal_planar(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomp::ldd_minor_free_local(g, 0.25));
+  }
+}
+BENCHMARK(BM_LocalLdd)->Range(512, 8192);
+
+void BM_ExpanderSplit(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = random_maximal_planar(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    Rng local(7);
+    benchmark::DoNotOptimize(expander::expander_split(g, local));
+  }
+}
+BENCHMARK(BM_ExpanderSplit)->Range(256, 4096);
+
+void BM_Blossom(benchmark::State& state) {
+  Rng rng(6);
+  const Graph g = random_maximal_planar(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::max_matching(g));
+  }
+}
+BENCHMARK(BM_Blossom)->Range(64, 1024);
+
+void BM_ExactMis(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = random_maximal_planar(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::max_independent_set(g));
+  }
+}
+BENCHMARK(BM_ExactMis)->Range(32, 128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

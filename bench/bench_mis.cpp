@@ -1,0 +1,72 @@
+// Experiment E-MIS — Corollary 6.5 and the Lenzen–Wattenhofer lower bound
+// (Theorem 6.1).
+//
+// Claims:
+//   * (1-ε)-approximate MIS deterministically in
+//     O(log* n / ε) + poly(1/ε) rounds (Corollary 6.5);
+//   * Ω(log* n / ε) rounds are necessary even on paths/cycles (Thm 6.1) —
+//     so the rounds column must scale like log* n (essentially flat) as n
+//     grows by 100x on cycles.
+#include "bench_common.hpp"
+#include "apps/approx.hpp"
+#include "apps/exact.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfd;
+  using namespace mfd::bench;
+  const Cli cli(argc, argv);
+  Rng rng(cli.get_int("seed", 7));
+
+  print_header("E-MIS: Corollary 6.5 + Theorem 6.1",
+               "(1-eps)-approximate maximum independent set");
+
+  std::cout << "-- ratio sweep (exact OPT via branch & bound)\n";
+  Table t({"instance", "eps", "|I|", "OPT", "ratio", "1-eps", "rounds", "T"});
+  struct Inst {
+    std::string name;
+    Graph g;
+    int alpha;
+  };
+  std::vector<Inst> instances;
+  instances.push_back({"planar(120)", random_maximal_planar(120, rng), 3});
+  instances.push_back({"outerplanar(150)",
+                       random_maximal_outerplanar(150, rng), 2});
+  instances.push_back({"tree(200)", random_tree(200, rng), 1});
+  for (const Inst& inst : instances) {
+    const apps::MisResult opt = apps::max_independent_set(inst.g);
+    for (double eps : {0.5, 0.3}) {
+      const apps::SetSolution sol =
+          apps::approx_max_independent_set(inst.g, eps, inst.alpha);
+      t.add_row({inst.name, Table::num(eps, 2),
+                 Table::integer(static_cast<long long>(sol.vertices.size())),
+                 Table::integer(static_cast<long long>(opt.set.size())),
+                 Table::num(static_cast<double>(sol.vertices.size()) /
+                                static_cast<double>(opt.set.size()),
+                            3),
+                 Table::num(1 - eps, 2),
+                 Table::integer(sol.stats.total_rounds),
+                 Table::integer(sol.stats.T)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n-- lower-bound shape (Thm 6.1): rounds vs n on cycles, "
+               "eps = 0.3\n";
+  Table t2({"n", "log*(n)", "rounds", "ratio"});
+  for (int n : {100, 1000, 10000, 100000}) {
+    const Graph c = cycle_graph(n);
+    const apps::SetSolution sol = apps::approx_max_independent_set(c, 0.3, 1);
+    // OPT of a cycle = floor(n/2).
+    t2.add_row({Table::integer(n), Table::integer(log_star(n)),
+                Table::integer(sol.stats.total_rounds),
+                Table::num(static_cast<double>(sol.vertices.size()) /
+                               static_cast<double>(n / 2),
+                           3)});
+  }
+  t2.print(std::cout);
+  std::cout << "\nShape checks: ratio >= 1-eps everywhere; on cycles the "
+               "rounds column grows like log* n (nearly flat over 1000x in "
+               "n), matching the Omega(log* n / eps) lower bound up to the "
+               "poly(1/eps) additive term.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment T1 — Table 1 of the paper.
+//
+// "The complexities of (ε, D, T)-decompositions with D = O(ε^-1) in
+//  Theorem 1.1":
+//
+//    Δ         ε         construction time               routing time
+//    const     const     O(log* n)                       O(1)
+//    const     any       O(ε^-1 log* n) + poly(ε^-1)     poly(ε^-1)
+//    any       const     O(log n)                        O(log n)
+//    any       any       poly(ε^-1, log n)               poly(ε^-1, log n)
+//
+// For each regime we build the decomposition on the matching family
+// (bounded-degree grids for "Δ const", planar triangulations whose maximum
+// degree grows with n for "Δ any") and report measured construction rounds
+// and measured routing T — the *shape* claim is that rows with const
+// parameters stay flat / grow like log* n (resp. log n) as n grows 16x.
+#include "bench_common.hpp"
+#include "decomp/edt.hpp"
+
+namespace mfd::bench {
+namespace {
+
+struct Row {
+  std::string regime;
+  std::string family;
+  int n;
+  double eps;
+  std::int64_t construction;
+  int t_routing;
+  int diameter;
+  double eps_measured;
+};
+
+Row run(const std::string& regime, const std::string& family, int n,
+        double eps, Rng& rng) {
+  const Graph g = make_family(family, n, rng);
+  decomp::EdtParams params;
+  const decomp::EdtDecomposition edt =
+      decomp::build_edt_decomposition(g, eps, params);
+  return Row{regime,          family,
+             g.n(),           eps,
+             edt.ledger.total(), edt.T_measured,
+             edt.quality.max_diameter, edt.quality.eps_fraction};
+}
+
+}  // namespace
+}  // namespace mfd::bench
+
+int main(int argc, char** argv) {
+  using namespace mfd;
+  using namespace mfd::bench;
+  const Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", 1));
+  Rng rng(cli.get_int("seed", 1));
+
+  print_header("T1: Table 1",
+               "construction & routing complexity across the four (Δ, ε) "
+               "regimes");
+
+  Table t({"regime (paper row)", "family", "n", "eps", "construction rounds",
+           "routing T", "max diam", "eps measured", "paper claim"});
+  std::vector<Row> rows;
+  // Row 1: Δ const, ε const — grids, fixed ε.
+  for (int n : {1024 * scale, 4096 * scale, 16384 * scale}) {
+    rows.push_back(run("dlt=const eps=const", "grid", n, 0.3, rng));
+    rows.back().regime += " | O(log* n) / O(1)";
+  }
+  // Row 2: Δ const, ε sweep — grids.
+  for (double eps : {0.5, 0.3, 0.2}) {
+    rows.push_back(run("dlt=const eps=any", "grid", 4096 * scale, eps, rng));
+    rows.back().regime += " | O(eps^-1 log* n)+poly(1/eps) / poly(1/eps)";
+  }
+  // Row 3: Δ any, ε const — triangulations (Δ grows with n).
+  for (int n : {1000 * scale, 4000 * scale, 16000 * scale}) {
+    rows.push_back(run("dlt=any eps=const", "planar", n, 0.3, rng));
+    rows.back().regime += " | O(log n) / O(log n)";
+  }
+  // Row 4: Δ any, ε sweep.
+  for (double eps : {0.5, 0.3, 0.2}) {
+    rows.push_back(run("dlt=any eps=any", "planar", 4000 * scale, eps, rng));
+    rows.back().regime += " | poly(1/eps, log n)";
+  }
+
+  for (const Row& r : rows) {
+    const auto bar = r.regime.find('|');
+    t.add_row({r.regime.substr(0, bar - 1), r.family, Table::integer(r.n),
+               Table::num(r.eps, 2), Table::integer(r.construction),
+               Table::integer(r.t_routing), Table::integer(r.diameter),
+               Table::num(r.eps_measured, 3), r.regime.substr(bar + 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nShape checks: within each const-parameter block the "
+               "measured columns should grow sub-polynomially with n;\n"
+               "eps-measured must stay <= eps.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Experiment E-THM11 — Theorem 1.1.
+//
+// Claims under test, for H-minor-free G and ε in (0, 1/2):
+//   * an (ε, D, T)-decomposition with D = O(1/ε) exists and is constructed
+//     in O(log* n / ε) + T rounds;
+//   * two T tradeoffs: T = 2^{O(log² 1/ε)}·O(log Δ)   (overlap variant)
+//                      T = O((log⁵Δ log 1/ε + log⁶ 1/ε)/ε⁴) (polylog variant).
+//
+// We sweep ε on planar triangulations for both variants and report measured
+// D (should scale ~ 1/ε), measured T, measured ε-fraction (must be <= ε),
+// and construction rounds.
+#include "bench_common.hpp"
+#include "decomp/edt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfd;
+  using namespace mfd::bench;
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 4000));
+  Rng rng(cli.get_int("seed", 2));
+  const Graph g = make_family(cli.get("family", "planar"), n, rng);
+
+  print_header("E-THM11: Theorem 1.1",
+               "(eps, D, T)-decomposition: D = O(1/eps), both T variants");
+  std::cout << g.summary() << "\n\n";
+
+  Table t({"variant", "eps", "eps measured", "D measured", "D*eps",
+           "T measured", "construction rounds", "iterations", "clusters"});
+  for (const auto& [vname, variant] :
+       {std::pair{"polylog", decomp::EdtVariant::kPolylogRouting},
+        std::pair{"overlap", decomp::EdtVariant::kOverlapRouting}}) {
+    for (double eps : {0.5, 0.4, 0.3, 0.2, 0.15}) {
+      decomp::EdtParams p;
+      p.variant = variant;
+      const decomp::EdtDecomposition edt =
+          decomp::build_edt_decomposition(g, eps, p);
+      t.add_row({vname, Table::num(eps, 2),
+                 Table::num(edt.quality.eps_fraction, 3),
+                 Table::integer(edt.quality.max_diameter),
+                 Table::num(edt.quality.max_diameter * eps, 2),
+                 Table::integer(edt.T_measured),
+                 Table::integer(edt.ledger.total()),
+                 Table::integer(edt.iterations),
+                 Table::integer(edt.clustering.k)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape checks: 'D*eps' should stay bounded (D = O(1/eps)); "
+               "'eps measured' <= eps for every row.\n";
+  return 0;
+}
