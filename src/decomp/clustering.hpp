@@ -1,0 +1,172 @@
+// Shared clustering type + quality measurement for every LDD variant.
+//
+// A decomposition is a partition of V into clusters; its quality is the
+// fraction of inter-cluster ("cut") edges and the maximum strong (induced)
+// diameter over clusters. The Ledger records simulated distributed-round
+// charges per phase so bench output can report round complexity.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfd::decomp {
+
+struct Clustering {
+  int k = 0;                 // number of clusters
+  std::vector<int> cluster;  // cluster[v] in [0, k)
+
+  /// Relabel arbitrary non-negative ids to a dense [0, k) range.
+  void compact() {
+    std::vector<int> remap;
+    std::vector<int> sorted(cluster);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (int& c : cluster) {
+      c = static_cast<int>(std::lower_bound(sorted.begin(), sorted.end(), c) -
+                           sorted.begin());
+    }
+    k = static_cast<int>(sorted.size());
+  }
+};
+
+struct Quality {
+  double eps_fraction = 0.0;  // cut edges / m
+  int max_diameter = 0;       // max induced diameter over clusters
+  std::int64_t cut_edges = 0;
+  bool clusters_connected = true;
+  int max_cluster_size = 0;
+};
+
+/// Simulated distributed-round accounting, one entry per algorithm phase.
+class Ledger {
+ public:
+  void charge(const std::string& phase, std::int64_t rounds) {
+    entries_.emplace_back(phase, rounds);
+  }
+
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (const auto& [phase, rounds] : entries_) t += rounds;
+    return t;
+  }
+
+  const std::vector<std::pair<std::string, std::int64_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::int64_t>> entries_;
+};
+
+namespace detail {
+
+/// Eccentricity of `src` within its cluster (BFS restricted to vertices whose
+/// cluster id matches). Also reports how many cluster vertices were reached.
+inline std::pair<int, int> cluster_ecc(const Graph& g,
+                                       const std::vector<int>& cluster, int src,
+                                       std::vector<int>& dist,
+                                       std::vector<int>& frontier,
+                                       std::vector<int>& next,
+                                       int* farthest = nullptr) {
+  const int cid = cluster[src];
+  dist[src] = 0;
+  frontier.clear();
+  frontier.push_back(src);
+  int ecc = 0, reached = 1, far = src;
+  while (!frontier.empty()) {
+    next.clear();
+    for (int u : frontier) {
+      for (int w : g.neighbors(u)) {
+        if (cluster[w] == cid && dist[w] < 0) {
+          dist[w] = dist[u] + 1;
+          ecc = dist[w];
+          far = w;
+          ++reached;
+          next.push_back(w);
+        }
+      }
+    }
+    std::swap(frontier, next);
+  }
+  if (farthest != nullptr) *farthest = far;
+  return {ecc, reached};
+}
+
+}  // namespace detail
+
+/// Measure cut fraction and per-cluster strong diameter.
+///
+/// Diameter is exact (all-pairs BFS inside the cluster) for clusters up to
+/// `exact_cap` vertices; larger clusters use an iterated double-sweep
+/// pseudo-diameter (a lower bound within 2x, exact on trees) to keep the
+/// measurement near-linear.
+inline Quality measure_quality(const Graph& g, const Clustering& c,
+                               int exact_cap = 1024) {
+  Quality q;
+  for (int u = 0; u < g.n(); ++u) {
+    for (int v : g.neighbors(u)) {
+      if (u < v && c.cluster[u] != c.cluster[v]) ++q.cut_edges;
+    }
+  }
+  q.eps_fraction = g.m() == 0 ? 0.0
+                              : static_cast<double>(q.cut_edges) /
+                                    static_cast<double>(g.m());
+
+  std::vector<std::vector<int>> members(c.k);
+  for (int v = 0; v < g.n(); ++v) members[c.cluster[v]].push_back(v);
+
+  std::vector<int> dist(g.n(), -1), frontier, next;
+  const auto reset = [&dist](const std::vector<int>& touched) {
+    for (int v : touched) dist[v] = -1;
+  };
+  for (const auto& verts : members) {
+    if (verts.empty()) continue;
+    q.max_cluster_size =
+        std::max(q.max_cluster_size, static_cast<int>(verts.size()));
+    int diam = 0;
+    if (static_cast<int>(verts.size()) <= exact_cap) {
+      for (int src : verts) {
+        const auto [ecc, reached] =
+            detail::cluster_ecc(g, c.cluster, src, dist, frontier, next);
+        diam = std::max(diam, ecc);
+        if (reached != static_cast<int>(verts.size())) {
+          q.clusters_connected = false;
+        }
+        reset(verts);
+      }
+    } else {
+      int src = verts.front();
+      for (int sweep = 0; sweep < 4; ++sweep) {
+        int far = src;
+        const auto [ecc, reached] =
+            detail::cluster_ecc(g, c.cluster, src, dist, frontier, next, &far);
+        diam = std::max(diam, ecc);
+        if (reached != static_cast<int>(verts.size())) {
+          q.clusters_connected = false;
+        }
+        reset(verts);
+        src = far;
+      }
+    }
+    q.max_diameter = std::max(q.max_diameter, diam);
+  }
+  return q;
+}
+
+/// True iff every vertex carries a cluster id in [0, k). Connectivity of the
+/// induced clusters is reported separately by measure_quality
+/// (Quality::clusters_connected).
+inline bool is_valid_partition(const Graph& g, const Clustering& c) {
+  if (static_cast<int>(c.cluster.size()) != g.n()) return false;
+  for (int v = 0; v < g.n(); ++v) {
+    if (c.cluster[v] < 0 || c.cluster[v] >= c.k) return false;
+  }
+  return true;
+}
+
+}  // namespace mfd::decomp

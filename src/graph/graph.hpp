@@ -1,0 +1,167 @@
+// CSR (compressed sparse row) undirected graph.
+//
+// Immutable after construction; every algorithm in the repo works on this
+// representation. `from_edges` deduplicates and drops self-loops, so
+// generators can emit edges carelessly and still produce a simple graph.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mfd {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an undirected edge list. Self-loops and out-of-range
+  /// endpoints are dropped, duplicate edges (in either orientation) are
+  /// merged; negative n is treated as the empty graph.
+  static Graph from_edges(int n, std::vector<std::pair<int, int>> edges) {
+    n = std::max(n, 0);
+    for (auto& [u, v] : edges) {
+      if (u > v) std::swap(u, v);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [n](const auto& e) {
+                                 return e.first == e.second || e.first < 0 ||
+                                        e.second >= n;
+                               }),
+                edges.end());
+
+    Graph g;
+    g.n_ = n;
+    g.m_ = static_cast<std::int64_t>(edges.size());
+    g.offset_.assign(n + 1, 0);
+    for (const auto& [u, v] : edges) {
+      ++g.offset_[u + 1];
+      ++g.offset_[v + 1];
+    }
+    for (int i = 0; i < n; ++i) g.offset_[i + 1] += g.offset_[i];
+    g.adj_.resize(2 * edges.size());
+    std::vector<std::int64_t> cursor(g.offset_.begin(), g.offset_.end() - 1);
+    for (const auto& [u, v] : edges) {
+      g.adj_[cursor[u]++] = v;
+      g.adj_[cursor[v]++] = u;
+    }
+    for (int v = 0; v < n; ++v) {
+      std::sort(g.adj_.begin() + g.offset_[v], g.adj_.begin() + g.offset_[v + 1]);
+    }
+    return g;
+  }
+
+  int n() const { return n_; }
+  std::int64_t m() const { return m_; }
+
+  int degree(int v) const {
+    return static_cast<int>(offset_[v + 1] - offset_[v]);
+  }
+
+  /// Neighbors of v, usable as `for (int w : g.neighbors(v))`.
+  struct NeighborRange {
+    const int* first;
+    const int* last;
+    const int* begin() const { return first; }
+    const int* end() const { return last; }
+    int size() const { return static_cast<int>(last - first); }
+  };
+
+  NeighborRange neighbors(int v) const {
+    return {adj_.data() + offset_[v], adj_.data() + offset_[v + 1]};
+  }
+
+  bool has_edge(int u, int v) const {
+    const auto nb = neighbors(u);
+    return std::binary_search(nb.begin(), nb.end(), v);
+  }
+
+  int max_degree() const {
+    int d = 0;
+    for (int v = 0; v < n_; ++v) d = std::max(d, degree(v));
+    return d;
+  }
+
+  /// Recover the undirected edge list (u < v, sorted).
+  std::vector<std::pair<int, int>> edges() const {
+    std::vector<std::pair<int, int>> out;
+    out.reserve(static_cast<std::size_t>(m_));
+    for (int u = 0; u < n_; ++u) {
+      for (int v : neighbors(u)) {
+        if (u < v) out.emplace_back(u, v);
+      }
+    }
+    return out;
+  }
+
+  std::string summary() const {
+    const double avg = n_ == 0 ? 0.0 : 2.0 * static_cast<double>(m_) / n_;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "graph: n=%d  m=%lld  avg_deg=%.2f  max_deg=%d",
+                  n_, static_cast<long long>(m_), avg, max_degree());
+    return buf;
+  }
+
+ private:
+  int n_ = 0;
+  std::int64_t m_ = 0;
+  std::vector<std::int64_t> offset_;
+  std::vector<int> adj_;
+};
+
+/// BFS distances from `src`; unreachable vertices get -1.
+inline std::vector<int> bfs_distances(const Graph& g, int src) {
+  std::vector<int> dist(g.n(), -1);
+  std::queue<int> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int w : g.neighbors(u)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[u] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Connected-component labels in [0, k); returns k via out-param-free pair.
+inline std::pair<std::vector<int>, int> connected_components(const Graph& g) {
+  std::vector<int> comp(g.n(), -1);
+  int k = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < g.n(); ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = k;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int w : g.neighbors(u)) {
+        if (comp[w] < 0) {
+          comp[w] = k;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++k;
+  }
+  return {std::move(comp), k};
+}
+
+inline bool is_connected(const Graph& g) {
+  if (g.n() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](int d) { return d < 0; });
+}
+
+}  // namespace mfd

@@ -1,0 +1,69 @@
+// Tiny command-line flag parser used by every bench binary.
+//
+// Accepted forms: `--key value`, `--key=value`, `-key value`, `-key=value`.
+// A flag with no following value (or followed by another flag) is stored as
+// "1" so `--verbose` style booleans work with get_int.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mfd {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.size() < 2 || arg[0] != '-') continue;
+      const std::size_t name_start = (arg[1] == '-') ? 2 : 1;
+      std::string key = arg.substr(name_start);
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        flags_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 (argv[i + 1][0] != '-' || looks_numeric(argv[i + 1]))) {
+        flags_[key] = argv[++i];
+      } else {
+        flags_[key] = "1";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return flags_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  // Distinguishes a negative numeric value ("-5", "-0.25") from a flag
+  // ("-n") so `--shift -5` parses as shift=-5 rather than two flags.
+  static bool looks_numeric(const char* s) {
+    if (*s == '-' || *s == '+') ++s;
+    if (*s == '\0') return false;
+    for (; *s != '\0'; ++s) {
+      if (!std::isdigit(static_cast<unsigned char>(*s)) && *s != '.') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace mfd

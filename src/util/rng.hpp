@@ -1,0 +1,68 @@
+// Seeded, reproducible PRNG (xoshiro256** seeded via splitmix64).
+//
+// Every randomized component in the repo takes an explicit `Rng&` so a run is
+// fully determined by its --seed flag; nothing reads global entropy.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mfd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) {
+    // splitmix64 expansion of the seed into the 256-bit xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -std::log(u) / rate;
+  }
+
+  /// Fair coin.
+  bool coin() { return (next() & 1) != 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mfd

@@ -1,0 +1,32 @@
+// Streaming statistics over doubles; used to average randomized runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace mfd {
+
+class Accumulator {
+ public:
+  void add(double x) {
+    sum_ += x;
+    ++count_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mfd

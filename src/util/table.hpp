@@ -1,0 +1,81 @@
+// Aligned plain-text tables for the paper-vs-measured experiment output.
+//
+// The first column is left-aligned (row labels), every other column is
+// right-aligned (numbers). Columns are separated by two spaces, so every
+// printed line of one table has the same length.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mfd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Fixed-point formatting with `precision` decimals.
+  static std::string num(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+  }
+
+  static std::string integer(std::int64_t value) {
+    return std::to_string(value);
+  }
+
+  void print(std::ostream& out) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(out, header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c) rule += "  ";
+      rule += std::string(width[c], '-');
+    }
+    out << rule << "\n";
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static void print_row(std::ostream& out, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c) line += "  ";
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
+      const std::string pad(width[c] - cell.size(), ' ');
+      if (c == 0) {
+        line += cell + pad;  // labels left-aligned
+      } else {
+        line += pad + cell;  // numbers right-aligned
+      }
+    }
+    out << line << "\n";
+  }
+
+  inline static const std::string kEmpty;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mfd

@@ -1,0 +1,82 @@
+// Minimal header-only test harness (GoogleTest is not vendored and the build
+// must work offline, so no FetchContent).
+//
+// Usage: `TEST_CASE(name) { CHECK(cond); CHECK_MSG(cond, "context"); }` in a
+// .cpp that includes this header; the header supplies main(). Run with no
+// arguments to execute every case, or pass case names to run a subset —
+// which is how CMakeLists registers each case as its own ctest test.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mfd::test {
+
+struct Case {
+  std::string name;
+  std::function<void()> fn;
+};
+
+inline std::vector<Case>& registry() {
+  static std::vector<Case> cases;
+  return cases;
+}
+
+inline int failures = 0;
+inline const char* current_case = "";
+
+struct Registrar {
+  Registrar(const char* name, void (*fn)()) { registry().push_back({name, fn}); }
+};
+
+inline void check_failed(const char* file, int line, const char* expr,
+                         const std::string& msg) {
+  ++failures;
+  std::fprintf(stderr, "FAIL %s at %s:%d: CHECK(%s)%s%s\n", current_case, file,
+               line, expr, msg.empty() ? "" : " — ", msg.c_str());
+}
+
+}  // namespace mfd::test
+
+#define TEST_CASE(name)                                              \
+  static void test_##name();                                         \
+  static ::mfd::test::Registrar registrar_##name(#name, test_##name); \
+  static void test_##name()
+
+#define CHECK(expr)                                                     \
+  do {                                                                  \
+    if (!(expr)) ::mfd::test::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define CHECK_MSG(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) ::mfd::test::check_failed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)
+
+int main(int argc, char** argv) {
+  using namespace mfd::test;
+  int ran = 0;
+  for (const Case& c : registry()) {
+    bool selected = argc <= 1;
+    for (int i = 1; i < argc; ++i) {
+      if (c.name == argv[i]) selected = true;
+    }
+    if (!selected) continue;
+    current_case = c.name.c_str();
+    const int before = failures;
+    c.fn();
+    ++ran;
+    std::printf("%-4s %s\n", failures == before ? "ok" : "FAIL", c.name.c_str());
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "no matching test case\n");
+    return 2;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}

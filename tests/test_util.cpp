@@ -1,0 +1,106 @@
+// Unit tests for util/: Rng reproducibility, Accumulator, Cli parsing,
+// Table formatting and alignment.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "test_main.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace mfd;
+
+TEST_CASE(rng_reproducible) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 256; ++i) {
+    const auto av = a.next();
+    all_equal = all_equal && (av == b.next());
+    any_diff = any_diff || (av != c.next());
+  }
+  CHECK(all_equal);
+  CHECK(any_diff);
+
+  Rng d(7), e(7);
+  for (int i = 0; i < 256; ++i) {
+    CHECK(d.uniform_int(0, 1000) == e.uniform_int(0, 1000));
+  }
+}
+
+TEST_CASE(rng_ranges) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 9);
+    CHECK(v >= 3 && v <= 9);
+    const double u = rng.uniform();
+    CHECK(u >= 0.0 && u < 1.0);
+    CHECK(rng.exponential(0.5) >= 0.0);
+  }
+}
+
+TEST_CASE(accumulator_mean) {
+  Accumulator acc;
+  CHECK(acc.mean() == 0.0);
+  CHECK(acc.count() == 0);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  CHECK(acc.count() == 4);
+  CHECK(acc.mean() == 2.5);
+  CHECK(acc.min() == 1.0);
+  CHECK(acc.max() == 4.0);
+}
+
+TEST_CASE(cli_defaults) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, const_cast<char**>(argv));
+  CHECK(cli.get_int("n", 10000) == 10000);
+  CHECK(cli.get("family", "grid") == "grid");
+  CHECK(cli.get_double("eps", 0.3) == 0.3);
+  CHECK(!cli.has("n"));
+}
+
+TEST_CASE(cli_provided) {
+  const char* argv[] = {"prog", "--n",   "4096",        "--family", "planar",
+                        "--eps=0.25",    "--shift", "-5", "--verbose"};
+  const Cli cli(9, const_cast<char**>(argv));
+  CHECK(cli.get_int("n", 1) == 4096);
+  CHECK(cli.get("family", "grid") == "planar");
+  CHECK(cli.get_double("eps", 0.3) == 0.25);
+  CHECK(cli.get_int("shift", 0) == -5);  // negative value, not a flag
+  CHECK(!cli.has("5"));
+  CHECK(cli.get_int("verbose", 0) == 1);
+  CHECK(cli.has("n"));
+}
+
+TEST_CASE(table_formatting) {
+  CHECK(Table::num(3.14159, 2) == "3.14");
+  CHECK(Table::num(2.0, 0) == "2");
+  CHECK(Table::num(0.5, 3) == "0.500");
+  CHECK(Table::integer(42) == "42");
+  CHECK(Table::integer(-7) == "-7");
+  CHECK(Table::integer(1234567890123LL) == "1234567890123");
+}
+
+TEST_CASE(table_alignment) {
+  Table t({"algorithm", "eps", "rounds"});
+  t.add_row({"ours", Table::num(0.2, 2), Table::integer(12)});
+  t.add_row({"a-much-longer-name", Table::num(0.25, 2), Table::integer(3456)});
+  CHECK(t.row_count() == 2);
+  std::ostringstream os;
+  t.print(os);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) lines.push_back(line);
+  CHECK(lines.size() == 4);  // header + rule + 2 rows
+  for (const auto& l : lines) {
+    CHECK_MSG(l.size() == lines[0].size(), "aligned columns give equal widths");
+  }
+  CHECK(lines[0].find("algorithm") != std::string::npos);
+  CHECK(lines[1].find_first_not_of("- ") == std::string::npos);
+  // Numeric columns right-aligned: the short round count ends where the
+  // longer one does.
+  CHECK(lines[2].rfind("12") == lines[2].size() - 2);
+  CHECK(lines[3].rfind("3456") == lines[3].size() - 4);
+}
