@@ -12,7 +12,6 @@
 #include "bench_common.hpp"
 #include "decomp/cs22_baseline.hpp"
 #include "decomp/edt.hpp"
-#include "decomp/edt.hpp"
 #include "expander/load_balance.hpp"
 #include "expander/rw_routing.hpp"
 #include "expander/split.hpp"
@@ -24,18 +23,23 @@ int main(int argc, char** argv) {
   using namespace mfd::expander;
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 11));
+  const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  // --n caps every instance size; the defaults sit far below the tier-1
+  // smoke value (4096), so the cap only bites when set small.
+  const int ncap = static_cast<int>(cli.get_int("n", 1 << 20));
 
   print_header("E-ABL: ablations", "design-choice ablations (DESIGN.md §3)");
 
   std::cout << "-- (a) token splitting in Lemma 2.2\n";
   {
-    const Graph g = add_apex(cycle_graph(40));
+    const int ka = std::min(40, std::max(3, ncap - 1));
+    const Graph g = add_apex(cycle_graph(ka));
     const ExpanderSplit sp = expander_split(g, rng);
     Table t({"token splitting", "delivered", "rounds", "outer iterations"});
     for (const bool splitting : {true, false}) {
       LoadBalanceParams p;
       if (!splitting) p.max_splits = 0;
-      const LoadBalanceResult r = gather_load_balance(sp, 40, 0.05, p);
+      const LoadBalanceResult r = gather_load_balance(sp, ka, 0.05, p);
       t.add_row({splitting ? "on" : "off", Table::num(r.delivered_fraction, 3),
                  Table::integer(r.rounds), Table::integer(r.outer_iterations)});
     }
@@ -44,7 +48,24 @@ int main(int argc, char** argv) {
 
   std::cout << "\n-- (b) light-link removal threshold (Lemma 5.3 Step 3)\n";
   {
-    const Graph g = random_maximal_planar(800, rng);
+    // Composite minor-free instance: a long path glued to a narrow ladder
+    // grid. Chopping then produces both unit-weight links (path side) and
+    // rows-weight links (ladder side), so the filter threshold has link
+    // weights on both sides of it to grade. (Random planar triangulations
+    // have O(log n) diameter — below the band width, EDT would never chop —
+    // and pure near-trees only yield unit-weight links no threshold can
+    // separate.)
+    const int rows = 6;
+    const int cols = std::min(smoke ? 50 : 100, std::max(12, ncap / (2 * rows)));
+    const int plen = std::min(smoke ? 150 : 300, std::max(12, ncap / 2));
+    std::vector<std::pair<int, int>> glue_edges;
+    for (int v = 0; v + 1 < plen; ++v) glue_edges.emplace_back(v, v + 1);
+    const Graph ladder = grid_graph(rows, cols);
+    for (const auto& [u, v] : ladder.edges()) {
+      glue_edges.emplace_back(plen + u, plen + v);
+    }
+    glue_edges.emplace_back(plen - 1, plen);
+    const Graph g = Graph::from_edges(plen + ladder.n(), std::move(glue_edges));
     Table t({"filter constant c (thr = eps/(c*alpha))", "eps measured",
              "iterations", "T", "construction rounds"});
     for (double c : {8.0, 32.0, 512.0}) {
@@ -61,13 +82,18 @@ int main(int argc, char** argv) {
 
   std::cout << "\n-- (c) seed-search width (Lemma 2.5 derandomization)\n";
   {
-    const Graph g = add_apex(cycle_graph(36));
+    const int kc = std::min(36, std::max(3, ncap - 1));
+    const Graph g = add_apex(cycle_graph(kc));
     const ExpanderSplit sp = expander_split(g, rng);
     Table t({"max seed tries", "delivered", "tries used"});
     for (int w : {1, 4, 48}) {
       RwParams p;
       p.max_seed_tries = w;
-      const RwResult r = gather_random_walks(sp, 36, 0.05, p);
+      // Pin the walk length to the marginal regime (the step budget caps T at
+      // ~13 rounds for the wheel's 108 walks): with ample T every seed
+      // delivers and the search width is invisible.
+      p.step_budget = 1500;
+      const RwResult r = gather_random_walks(sp, kc, 0.05, p);
       t.add_row({Table::integer(w), Table::num(r.delivered_fraction, 3),
                  Table::integer(r.schedule.seed_tries)});
     }
@@ -76,7 +102,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\n-- (d) gather engine on the same cluster\n";
   {
-    const Graph g = complete_graph(16);
+    const Graph g = complete_graph(std::min(16, std::max(4, ncap)));
     const ExpanderSplit sp = expander_split(g, rng);
     Table t({"engine", "delivered", "rounds"});
     {
@@ -101,7 +127,9 @@ int main(int argc, char** argv) {
   std::cout << "\n-- (e) decomposition route: bottom-up (Thm 1.1) vs "
                "top-down (CS22-style)\n";
   {
-    const Graph g = grid_graph(32, 32);
+    int side = smoke ? 16 : 32;
+    while (side > 4 && side * side > ncap) --side;
+    const Graph g = grid_graph(side, side);
     Table t({"route", "eps", "eps measured", "max diameter", "clusters",
              "T measured", "construction"});
     for (double eps : {0.4, 0.25}) {

@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
   using namespace mfd::expander;
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 5));
+  const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  // --n caps every instance size; the lemma-sized defaults sit far below the
+  // tier-1 smoke value (4096), so the cap only bites when set small.
+  const int ncap = static_cast<int>(cli.get_int("n", 1 << 20));
 
   print_header("E-ROUTE: Lemmas 2.2 / 2.5 / 2.6",
                "information gathering: load balancing vs derandomized walks");
@@ -35,13 +39,18 @@ int main(int argc, char** argv) {
   };
   std::vector<Instance> instances;
   {
-    const int k = static_cast<int>(cli.get_int("wheel", 48));
+    const int k = std::min(static_cast<int>(cli.get_int("wheel", smoke ? 24 : 48)),
+                           std::max(3, ncap - 1));
     instances.push_back({"wheel(" + std::to_string(k) + ")",
                          add_apex(cycle_graph(k)), k});
-    instances.push_back({"clique(24)", complete_graph(24), 0});
-    const Graph rr = random_regular(64, 6, rng);
+    const int nc = std::min(smoke ? 16 : 24, std::max(4, ncap));
+    instances.push_back({"clique(" + std::to_string(nc) + ")",
+                         complete_graph(nc), 0});
+    int nr = std::min(smoke ? 32 : 64, std::max(8, ncap));
+    nr -= nr % 2;
+    const Graph rr = random_regular(nr, 6, rng);
     int vstar = 0;
-    instances.push_back({"6-regular(64)", rr, vstar});
+    instances.push_back({"6-regular(" + std::to_string(nr) + ")", rr, vstar});
   }
 
   Table t({"instance", "engine", "f", "delivered", "rounds",

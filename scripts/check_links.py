@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown files.
+
+Usage: check_links.py [repo_root]
+
+Scans every *.md outside build directories for [text](target) links and
+verifies that relative targets exist on disk (anchors are stripped; absolute
+URLs and mailto links are skipped). No network access. Exit code 1 lists the
+dead links; 0 means every relative link resolves.
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "build-asan", "node_modules"}
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dead = []
+    for path in sorted(markdown_files(root)):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    dead.append(f"{rel}:{lineno}: dead link -> {match.group(1)}")
+    if dead:
+        print("\n".join(dead))
+        print(f"{len(dead)} dead relative link(s)", file=sys.stderr)
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@
 
 namespace mfd::decomp {
 
+/// A partition of V into clusters.
+///
+/// Invariants (checked by is_valid_partition and the decomposition tests):
+/// cluster.size() == n, every id lies in [0, k), and every decomposition
+/// algorithm in decomp/ additionally guarantees that each cluster induces a
+/// connected subgraph. Cluster ids carry no geometric meaning; expander/
+/// consumers (split, routing) only compare them for equality.
 struct Clustering {
   int k = 0;                 // number of clusters
   std::vector<int> cluster;  // cluster[v] in [0, k)
@@ -34,15 +41,30 @@ struct Clustering {
   }
 };
 
+/// Measured quality of a Clustering, as produced by measure_quality.
+///
+/// Units: eps_fraction is dimensionless (cut edges / m); max_diameter is in
+/// BFS hops of the *induced* (strong) cluster subgraph — never simulated
+/// rounds; max_cluster_size is in vertices. For clusters above the caller's
+/// exact cap the diameter is a double-sweep estimate (a lower bound within
+/// 2x, exact on trees), so max_diameter is exact on small-cluster
+/// decompositions and conservative on large ones.
 struct Quality {
   double eps_fraction = 0.0;  // cut edges / m
-  int max_diameter = 0;       // max induced diameter over clusters
+  int max_diameter = 0;       // max induced diameter over clusters (BFS hops)
   std::int64_t cut_edges = 0;
   bool clusters_connected = true;
   int max_cluster_size = 0;
 };
 
 /// Simulated distributed-round accounting, one entry per algorithm phase.
+///
+/// Units: every charge is in simulated CONGEST rounds (what a distributed
+/// implementation would pay), not wall clock and not BFS hops — phases that
+/// sweep to depth d charge d rounds, symbolic phases (e.g. "log* n
+/// preprocessing") charge their theory value. total() is the sum over
+/// phases; entries preserve charge order, and charges are append-only so a
+/// consumer (expander/, benches) can attribute rounds per phase.
 class Ledger {
  public:
   void charge(const std::string& phase, std::int64_t rounds) {

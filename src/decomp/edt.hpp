@@ -19,6 +19,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "decomp/clustering.hpp"
@@ -26,21 +28,42 @@
 
 namespace mfd::decomp {
 
+/// Theorem 1.1 offers two T tradeoffs: kOverlapRouting multiplies the cluster
+/// diameter by a log Δ factor, kPolylogRouting pays an additive
+/// polylog(Δ, 1/ε) term instead.
 enum class EdtVariant { kPolylogRouting, kOverlapRouting };
 
+/// Knobs of build_edt_decomposition. All "rounds" counts are simulated
+/// CONGEST rounds; all widths/diameters are BFS hops.
 struct EdtParams {
   EdtVariant variant = EdtVariant::kPolylogRouting;
   int passes = 3;          // chopping passes budgeted against the ε allowance
   int max_iterations = 8;  // hard cap including refinement passes
   int exact_diameter_cap = 1024;  // cluster size above which diameter is swept
+  // Light-link filter of the merge refinement (Lemma 5.3 Step 3): after
+  // chopping, adjacent clusters are merged across a link of w(A,B) edges iff
+  // w(A,B) >= (eps / (merge_filter_c * alpha)) * m, where alpha = 2m/n is the
+  // measured average degree (the minor-free density proxy) — lighter links
+  // stay removed (cut). Larger c lowers the threshold and admits weaker
+  // merges; 0 disables merging. Merges are always rejected if they could
+  // push a cluster diameter past 6 * band width, so D = O(1/ε) survives the
+  // refinement.
+  double merge_filter_c = 32.0;
+  int max_merge_passes = 4;  // merge sweeps over the link list
 };
 
+/// Output of build_edt_decomposition (Theorem 1.1 / Corollary 6.1).
+/// Invariants the tests pin down: clustering partitions V into connected
+/// clusters, quality.eps_fraction <= eps (hard budget, deterministic),
+/// quality.max_diameter = O(1/eps) in BFS hops, ledger totals simulated
+/// CONGEST rounds, and the whole construction is deterministic.
 struct EdtDecomposition {
   Clustering clustering;
   Quality quality;
   Ledger ledger;
-  int T_measured = 0;  // measured routing time of the chosen variant
+  int T_measured = 0;  // measured routing time (rounds) of the chosen variant
   int iterations = 0;  // chopping passes actually executed
+  int merges = 0;      // cluster merges accepted by the light-link filter
 };
 
 inline int log_star(double x) {
@@ -161,8 +184,101 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     k = fk;
   }
 
+  // Light-link merge refinement (Lemma 5.3 Step 3): reclaim cut edges by
+  // merging clusters across heavy links. A link lighter than the filter
+  // threshold stays cut (its removal is what the lemma calls light-link
+  // removal); a merge is accepted only if a double-sweep eccentricity check
+  // keeps the union within 3w hops of some vertex, which guarantees the
+  // merged diameter stays <= 6w = O(1/eps).
+  if (params.merge_filter_c > 0 && k > 2) {
+    const double alpha =
+        std::max(1.0, 2.0 * static_cast<double>(g.m()) / std::max(n, 1));
+    const int ecc_cap = 3 * w;
+    std::vector<int> parent(k);
+    for (int c = 0; c < k; ++c) parent[c] = c;
+    const auto find = [&parent](int c) {
+      while (parent[c] != c) c = parent[c] = parent[parent[c]];
+      return c;
+    };
+    std::vector<int> dist(n, -1);
+    std::vector<std::vector<int>> rmembers;  // members per current root
+    const auto union_ecc_ok = [&](int ra, int rb) {
+      std::vector<int> mem(rmembers[ra]);
+      mem.insert(mem.end(), rmembers[rb].begin(), rmembers[rb].end());
+      int src = mem.front(), ecc = 0;
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        ecc = 0;
+        int far = src;
+        dist[src] = 0;
+        frontier.assign(1, src);
+        while (!frontier.empty()) {
+          next.clear();
+          for (int u : frontier) {
+            for (int nb : g.neighbors(u)) {
+              if (dist[nb] >= 0) continue;
+              const int r = find(label[nb]);
+              if (r != ra && r != rb) continue;
+              dist[nb] = dist[u] + 1;
+              ecc = dist[nb];
+              far = nb;
+              next.push_back(nb);
+            }
+          }
+          std::swap(frontier, next);
+        }
+        for (int v : mem) dist[v] = -1;
+        src = far;
+        if (ecc > ecc_cap) return false;  // first sweep already too deep
+      }
+      return ecc <= ecc_cap;
+    };
+    int k_cur = k;
+    for (int pass = 0; pass < params.max_merge_passes && k_cur > 2; ++pass) {
+      std::map<std::pair<int, int>, std::int64_t> weight;
+      rmembers.assign(k, {});
+      for (int u = 0; u < n; ++u) {
+        const int ru = find(label[u]);
+        rmembers[ru].push_back(u);
+        for (int vtx : g.neighbors(u)) {
+          if (u >= vtx) continue;
+          const int rv = find(label[vtx]);
+          if (ru != rv) ++weight[{std::min(ru, rv), std::max(ru, rv)}];
+        }
+      }
+      std::vector<std::pair<std::int64_t, std::pair<int, int>>> links;
+      links.reserve(weight.size());
+      for (const auto& [ab, wt] : weight) links.push_back({wt, ab});
+      std::sort(links.begin(), links.end(), [](const auto& x, const auto& y) {
+        return x.first != y.first ? x.first > y.first : x.second < y.second;
+      });
+      bool merged_any = false;
+      std::vector<char> touched(k, 0);  // weights go stale once a side merges
+      for (const auto& [wt, ab] : links) {
+        if (k_cur <= 2) break;
+        const int ra = find(ab.first), rb = find(ab.second);
+        if (ra == rb || touched[ra] || touched[rb]) continue;
+        const double thr = eps * static_cast<double>(g.m()) /
+                           (params.merge_filter_c * alpha);
+        if (static_cast<double>(wt) < thr) continue;
+        if (!union_ecc_ok(ra, rb)) continue;
+        parent[ra] = rb;
+        touched[ra] = touched[rb] = 1;
+        --k_cur;
+        ++out.merges;
+        merged_any = true;
+      }
+      if (!merged_any) break;
+      out.ledger.charge("light-link merge pass " + std::to_string(pass + 1),
+                        4 * w);
+    }
+    if (out.merges > 0) {
+      for (int v = 0; v < n; ++v) label[v] = find(label[v]);
+    }
+  }
+
   out.clustering.cluster = std::move(label);
   out.clustering.k = k;
+  out.clustering.compact();
   out.quality = measure_quality(g, out.clustering, params.exact_diameter_cap);
 
   // Routing time of the chosen T tradeoff, measured on the built clustering

