@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   // Grids have conductance Θ(1/√n), so the decomposition actually has to
   // cut (a random triangulation is already a global expander at these
   // targets and would sit in one cluster for every row).
-  const int n = static_cast<int>(cli.get_int("n", 1024));
+  const int n =
+      static_cast<int>(cli.get_int("n", cli.has("smoke") ? 256 : 1024));
   Rng rng(cli.get_int("seed", 4));
   const Graph g = make_family(cli.get("family", "grid"), n, rng);
 

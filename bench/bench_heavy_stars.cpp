@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace mfd::bench;
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 10));
+  const int shrink = cli.has("smoke") ? 4 : 1;  // --smoke quarters every n
 
   print_header("E-HSTAR: Lemma 4.2",
                "heavy-stars weight capture >= 1/(8*alpha)");
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
                                          {"planar", 2000, 3},
                                          {"grid", 1600, 3},
                                          {"ktree3", 1200, 3}}) {
-    const Graph g = make_family(c.family, c.n, rng);
+    const Graph g = make_family(c.family, c.n / shrink, rng);
     for (const bool weighted : {false, true}) {
       std::vector<WeightedEdge> edges;
       for (const auto& [u, v] : g.edges()) {

@@ -1,0 +1,142 @@
+// Exact maximum independent set — the centralized baseline the Theorem 1.2
+// MIS/approximation applications will be graded against (bench_mis,
+// bench_kernels). Branch and bound with the standard reductions: degree-0/1
+// vertices are always taken, components whose maximum degree is at most 2
+// (paths and cycles) are solved in closed form, and branching picks a
+// maximum-degree vertex (include N[v]-deleted vs exclude v-deleted).
+// Exponential worst case — intended for the small-n exact baselines only
+// (the benches stay at n <= a few hundred on sparse minor-free instances,
+// where the reductions keep the tree tiny).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfd::apps {
+
+namespace detail {
+
+class MisSolver {
+ public:
+  explicit MisSolver(const Graph& g) : g_(g), alive_(g.n(), 1), deg_(g.n()) {
+    for (int v = 0; v < g.n(); ++v) deg_[v] = g.degree(v);
+  }
+
+  int solve() { return branch(); }
+
+ private:
+  void remove(int v, std::vector<int>& removed) {
+    alive_[v] = 0;
+    removed.push_back(v);
+    for (int w : g_.neighbors(v)) {
+      if (alive_[w]) --deg_[w];
+    }
+  }
+
+  void restore(std::vector<int>& removed, std::size_t mark) {
+    while (removed.size() > mark) {
+      const int v = removed.back();
+      removed.pop_back();
+      alive_[v] = 1;
+      for (int w : g_.neighbors(v)) {
+        if (alive_[w]) ++deg_[w];
+      }
+    }
+  }
+
+  // Solve the remaining graph exactly. Mutates alive_/deg_ and restores
+  // them before returning.
+  int branch() {
+    std::vector<int> removed;
+    int taken = 0;
+    // Reduce: repeatedly take degree-0/1 vertices (always optimal).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int v = 0; v < g_.n(); ++v) {
+        if (!alive_[v] || deg_[v] > 1) continue;
+        ++taken;
+        changed = true;
+        if (deg_[v] == 1) {
+          for (int w : g_.neighbors(v)) {
+            if (alive_[w]) {
+              remove(w, removed);
+              break;
+            }
+          }
+        }
+        remove(v, removed);
+      }
+    }
+    // Pick a branching vertex; paths/cycles (max degree <= 2) are exact.
+    int pivot = -1;
+    for (int v = 0; v < g_.n(); ++v) {
+      if (alive_[v] && deg_[v] >= 3 && (pivot < 0 || deg_[v] > deg_[pivot])) {
+        pivot = v;
+      }
+    }
+    int best;
+    if (pivot < 0) {
+      best = taken + paths_and_cycles();
+    } else {
+      // Exclude pivot.
+      const std::size_t mark = removed.size();
+      remove(pivot, removed);
+      const int without = branch();
+      restore(removed, mark);
+      // Include pivot: drop its closed neighborhood.
+      remove(pivot, removed);
+      for (int w : g_.neighbors(pivot)) {
+        if (alive_[w]) remove(w, removed);
+      }
+      const int with = 1 + branch();
+      best = taken + std::max(without, with);
+    }
+    restore(removed, 0);
+    return best;
+  }
+
+  // All remaining components have max degree <= 2: alpha(path_k) =
+  // ceil(k/2), alpha(cycle_k) = floor(k/2).
+  int paths_and_cycles() {
+    int total = 0;
+    std::vector<char> seen(g_.n(), 0);
+    for (int s = 0; s < g_.n(); ++s) {
+      if (!alive_[s] || seen[s]) continue;
+      int size = 0;
+      bool is_cycle = true;
+      std::vector<int> stack = {s};
+      seen[s] = 1;
+      while (!stack.empty()) {
+        const int v = stack.back();
+        stack.pop_back();
+        ++size;
+        if (deg_[v] < 2) is_cycle = false;
+        for (int w : g_.neighbors(v)) {
+          if (alive_[w] && !seen[w]) {
+            seen[w] = 1;
+            stack.push_back(w);
+          }
+        }
+      }
+      total += is_cycle ? size / 2 : (size + 1) / 2;
+    }
+    return total;
+  }
+
+  const Graph& g_;
+  std::vector<char> alive_;
+  std::vector<int> deg_;
+};
+
+}  // namespace detail
+
+/// Size of a maximum independent set of g. Exponential worst case; intended
+/// for the exact small-instance baselines.
+inline int max_independent_set(const Graph& g) {
+  return detail::MisSolver(g).solve();
+}
+
+}  // namespace mfd::apps

@@ -41,20 +41,36 @@ struct Clustering {
   }
 };
 
-/// Measured quality of a Clustering, as produced by measure_quality.
+/// Measured quality of a Clustering, as produced by evaluate_clustering.
 ///
 /// Units: eps_fraction is dimensionless (cut edges / m); max_diameter is in
 /// BFS hops of the *induced* (strong) cluster subgraph — never simulated
 /// rounds; max_cluster_size is in vertices. For clusters above the caller's
-/// exact cap the diameter is a double-sweep estimate (a lower bound within
-/// 2x, exact on trees), so max_diameter is exact on small-cluster
-/// decompositions and conservative on large ones.
-struct Quality {
+/// exact cap the diameter is a sampled-eccentricity estimate (iterated
+/// double sweep plus spread sources — a lower bound within 2x, exact on
+/// trees), so max_diameter is exact on small-cluster decompositions and
+/// conservative on large ones; EvalParams::force_exact disables sampling.
+struct ClusterQuality {
   double eps_fraction = 0.0;  // cut edges / m
   int max_diameter = 0;       // max induced diameter over clusters (BFS hops)
   std::int64_t cut_edges = 0;
   bool clusters_connected = true;
   int max_cluster_size = 0;
+};
+
+/// Historical name; EDT and the LDD baselines expose this spelling.
+using Quality = ClusterQuality;
+
+/// Knobs of evaluate_clustering. Clusters of at most exact_cap vertices get
+/// the exact all-pairs-BFS diameter; larger ones are estimated from
+/// 2*sweeps alternating-double-sweep BFSes plus sample_sources evenly spread
+/// extra sources. force_exact disables the sampling path entirely (tests use
+/// it to pin the estimator against ground truth).
+struct EvalParams {
+  int exact_cap = 64;
+  int sweeps = 4;
+  int sample_sources = 8;
+  bool force_exact = false;
 };
 
 /// Simulated distributed-round accounting, one entry per algorithm phase.
@@ -124,12 +140,13 @@ inline std::pair<int, int> cluster_ecc(const Graph& g,
 /// Measure cut fraction and per-cluster strong diameter.
 ///
 /// Diameter is exact (all-pairs BFS inside the cluster) for clusters up to
-/// `exact_cap` vertices; larger clusters use an iterated double-sweep
-/// pseudo-diameter (a lower bound within 2x, exact on trees) to keep the
-/// measurement near-linear.
-inline Quality measure_quality(const Graph& g, const Clustering& c,
-                               int exact_cap = 1024) {
-  Quality q;
+/// EvalParams::exact_cap vertices; larger clusters use sampled eccentricity
+/// — an iterated double sweep plus evenly spread extra sources (a lower
+/// bound within 2x, exact on trees) — so the measurement stays near-linear
+/// even when clusters are large. force_exact runs all-pairs BFS everywhere.
+inline ClusterQuality evaluate_clustering(const Graph& g, const Clustering& c,
+                                          const EvalParams& params = {}) {
+  ClusterQuality q;
   for (int u = 0; u < g.n(); ++u) {
     for (int v : g.neighbors(u)) {
       if (u < v && c.cluster[u] != c.cluster[v]) ++q.cut_edges;
@@ -148,36 +165,41 @@ inline Quality measure_quality(const Graph& g, const Clustering& c,
   };
   for (const auto& verts : members) {
     if (verts.empty()) continue;
-    q.max_cluster_size =
-        std::max(q.max_cluster_size, static_cast<int>(verts.size()));
+    const int size = static_cast<int>(verts.size());
+    q.max_cluster_size = std::max(q.max_cluster_size, size);
     int diam = 0;
-    if (static_cast<int>(verts.size()) <= exact_cap) {
-      for (int src : verts) {
-        const auto [ecc, reached] =
-            detail::cluster_ecc(g, c.cluster, src, dist, frontier, next);
-        diam = std::max(diam, ecc);
-        if (reached != static_cast<int>(verts.size())) {
-          q.clusters_connected = false;
-        }
-        reset(verts);
-      }
+    const auto probe = [&](int src, int* far) {
+      const auto [ecc, reached] =
+          detail::cluster_ecc(g, c.cluster, src, dist, frontier, next, far);
+      diam = std::max(diam, ecc);
+      if (reached != size) q.clusters_connected = false;
+      reset(verts);
+    };
+    if (params.force_exact || size <= params.exact_cap) {
+      for (int src : verts) probe(src, nullptr);
     } else {
+      // Alternating double sweep: hop to the farthest vertex found so far.
       int src = verts.front();
-      for (int sweep = 0; sweep < 4; ++sweep) {
+      for (int sweep = 0; sweep < params.sweeps; ++sweep) {
         int far = src;
-        const auto [ecc, reached] =
-            detail::cluster_ecc(g, c.cluster, src, dist, frontier, next, &far);
-        diam = std::max(diam, ecc);
-        if (reached != static_cast<int>(verts.size())) {
-          q.clusters_connected = false;
-        }
-        reset(verts);
+        probe(src, &far);
         src = far;
       }
+      // Evenly spread extra sources guard against sweeps stuck on one limb.
+      const int stride = std::max(1, size / std::max(params.sample_sources, 1));
+      for (int i = stride / 2; i < size; i += stride) probe(verts[i], nullptr);
     }
     q.max_diameter = std::max(q.max_diameter, diam);
   }
   return q;
+}
+
+/// Historical entry point: exact diameters up to `exact_cap`, sampled above.
+inline Quality measure_quality(const Graph& g, const Clustering& c,
+                               int exact_cap = 64) {
+  EvalParams p;
+  p.exact_cap = exact_cap;
+  return evaluate_clustering(g, c, p);
 }
 
 /// True iff every vertex carries a cluster id in [0, k). Connectivity of the

@@ -1,19 +1,28 @@
 // Deterministic (ε, D, T)-decomposition — Theorem 1.1 / Corollary 6.1.
 //
-// Centralized simulation of the paper's deterministic CONGEST decomposition
-// for H-minor-free graphs: iterated BFS-band chopping in the style of
-// Klein–Plotkin–Rao. Each pass BFS-layers every remaining cluster and cuts
-// between bands of width w = ceil(passes/ε) at the offset minimizing cut
-// edges; by averaging the best offset cuts at most m_C/w edges per cluster,
-// so `passes` budgeted passes cut at most ε·m edges in total — the ε-fraction
-// guarantee is deterministic, not probabilistic. Refinement passes beyond the
-// budget only run while the remaining cut allowance permits them.
+// Two interchangeable engines build the decomposition:
 //
-// The Ledger charges simulated rounds: the O(log* n / ε) preprocessing term,
-// per-pass BFS depth + offset aggregation, and the +T routing-structure
-// setup. T_measured distinguishes the paper's two tradeoffs (Theorem 1.1):
-// the overlap variant pays a log Δ factor on cluster diameter; the polylog
-// variant pays an additive polylog(Δ, 1/ε) term.
+//   * kLocalContraction (default) — the Section-4 pipeline in
+//     decomp/ldd_local.hpp: iterated heavy-stars contraction under a
+//     diameter guard, O(log* n)-type rounds per iteration and no global
+//     BFS anywhere. This is the fidelity-faithful engine: construction
+//     rounds do not grow with the graph diameter.
+//   * kGlobalBfs — the original centralized simulation: iterated BFS-band
+//     chopping in the style of Klein–Plotkin–Rao. Each pass BFS-layers
+//     every remaining cluster and cuts between bands of width
+//     w = ceil(passes/ε) at the offset minimizing cut edges; by averaging
+//     the best offset cuts at most m_C/w edges per cluster, so `passes`
+//     budgeted passes cut at most ε·m edges in total. Charges real BFS
+//     depth per pass (Θ(√n) on a grid) — kept selectable for the ablation
+//     bench, which grades exactly that gap.
+//
+// Both engines meet the hard ε cut budget deterministically. The Ledger
+// charges simulated rounds: the O(log* n / ε) preprocessing term, per-pass
+// work (BFS depth + offset aggregation, or heavy-stars + Cole–Vishkin), and
+// the +T routing-structure setup. T_measured distinguishes the paper's two
+// tradeoffs (Theorem 1.1): the overlap variant pays a log Δ factor on
+// cluster diameter; the polylog variant pays an additive polylog(Δ, 1/ε)
+// term.
 #pragma once
 
 #include <algorithm>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "decomp/clustering.hpp"
+#include "decomp/ldd_local.hpp"
 #include "graph/graph.hpp"
 
 namespace mfd::decomp {
@@ -33,15 +43,20 @@ namespace mfd::decomp {
 /// polylog(Δ, 1/ε) term instead.
 enum class EdtVariant { kPolylogRouting, kOverlapRouting };
 
+/// Which engine performs the ε-budgeted clustering (see the header comment).
+enum class EdtChop { kLocalContraction, kGlobalBfs };
+
 /// Knobs of build_edt_decomposition. All "rounds" counts are simulated
 /// CONGEST rounds; all widths/diameters are BFS hops.
 struct EdtParams {
   EdtVariant variant = EdtVariant::kPolylogRouting;
+  EdtChop chop = EdtChop::kLocalContraction;
   int passes = 3;          // chopping passes budgeted against the ε allowance
-  int max_iterations = 8;  // hard cap including refinement passes
-  int exact_diameter_cap = 1024;  // cluster size above which diameter is swept
-  // Light-link filter of the merge refinement (Lemma 5.3 Step 3): after
-  // chopping, adjacent clusters are merged across a link of w(A,B) edges iff
+  int max_iterations = 8;  // hard cap including refinement passes (kGlobalBfs)
+  int exact_diameter_cap = 64;  // cluster size above which diameter is swept
+  // Light-link filter of the merge refinement (Lemma 5.3 Step 3), applied
+  // after the kGlobalBfs chop only (the contraction engine merges as it
+  // goes): adjacent clusters are merged across a link of w(A,B) edges iff
   // w(A,B) >= (eps / (merge_filter_c * alpha)) * m, where alpha = 2m/n is the
   // measured average degree (the minor-free density proxy) — lighter links
   // stay removed (cut). Larger c lowers the threshold and admits weaker
@@ -62,8 +77,8 @@ struct EdtDecomposition {
   Quality quality;
   Ledger ledger;
   int T_measured = 0;  // measured routing time (rounds) of the chosen variant
-  int iterations = 0;  // chopping passes actually executed
-  int merges = 0;      // cluster merges accepted by the light-link filter
+  int iterations = 0;  // chop passes (kGlobalBfs) or contraction iterations
+  int merges = 0;      // light-link merges (kGlobalBfs) or star merges (local)
 };
 
 inline int log_star(double x) {
@@ -74,6 +89,23 @@ inline int log_star(double x) {
   }
   return r;
 }
+
+namespace detail {
+
+/// Routing time of the chosen T tradeoff on a built clustering (simulation
+/// proxies for the two Theorem 1.1 variants).
+inline int edt_routing_time(const Graph& g, double eps, EdtVariant variant,
+                            int max_diameter) {
+  const int log_delta =
+      static_cast<int>(std::ceil(std::log2(g.max_degree() + 2)));
+  const int log_inv_eps = static_cast<int>(std::ceil(std::log2(1.0 / eps) + 1));
+  if (variant == EdtVariant::kOverlapRouting) {
+    return max_diameter * log_delta + 1;
+  }
+  return max_diameter + log_delta * log_inv_eps;
+}
+
+}  // namespace detail
 
 inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
                                                 EdtParams params = {}) {
@@ -87,6 +119,27 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
   // ruling-set / degree-reduction machinery we simulate centrally).
   out.ledger.charge("preprocess(log* n / eps)",
                     log_star(n) * static_cast<std::int64_t>(std::ceil(1.0 / eps)));
+
+  if (params.chop == EdtChop::kLocalContraction) {
+    // Section-4 engine: iterated heavy-stars contraction, no global BFS.
+    // The eccentricity guard 2*w keeps the strong diameter <= 4*w, matching
+    // the chop engine's D = O(1/eps) constant regime.
+    LocalLddParams lp;
+    lp.ecc_cap = 2 * w;
+    lp.eval.exact_cap = params.exact_diameter_cap;
+    LocalLdd local = ldd_minor_free_local(g, eps, lp);
+    for (const auto& [phase, rounds] : local.ledger.entries()) {
+      out.ledger.charge(phase, rounds);
+    }
+    out.clustering = std::move(local.clustering);
+    out.quality = local.quality;
+    out.iterations = local.iterations;
+    out.merges = local.merges;
+    out.T_measured =
+        detail::edt_routing_time(g, eps, params.variant, out.quality.max_diameter);
+    out.ledger.charge("routing setup (+T)", out.T_measured);
+    return out;
+  }
 
   auto [label, k] = connected_components(g);
   std::vector<int> lev(n, 0), band(n, 0);
@@ -281,16 +334,8 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
   out.clustering.compact();
   out.quality = measure_quality(g, out.clustering, params.exact_diameter_cap);
 
-  // Routing time of the chosen T tradeoff, measured on the built clustering
-  // (simulation proxies for the two Theorem 1.1 variants).
-  const int log_delta =
-      static_cast<int>(std::ceil(std::log2(g.max_degree() + 2)));
-  const int log_inv_eps = static_cast<int>(std::ceil(std::log2(1.0 / eps) + 1));
-  if (params.variant == EdtVariant::kOverlapRouting) {
-    out.T_measured = out.quality.max_diameter * log_delta + 1;
-  } else {
-    out.T_measured = out.quality.max_diameter + log_delta * log_inv_eps;
-  }
+  out.T_measured =
+      detail::edt_routing_time(g, eps, params.variant, out.quality.max_diameter);
   out.ledger.charge("routing setup (+T)", out.T_measured);
   return out;
 }

@@ -1,0 +1,154 @@
+// Heavy-stars contraction — Lemma 4.2 / 4.3, derandomized via Cole–Vishkin.
+//
+// On a weighted cluster graph of arboricity <= α the algorithm marks
+// vertex-disjoint low-depth trees ("stars") whose edges carry at least a
+// 1/(8α) fraction of the total edge weight:
+//
+//   1. Every vertex points across its heaviest incident edge (ties broken
+//      toward the smaller neighbor id, which makes every pointer cycle a
+//      2-cycle). Summed over the α forests of an arboricity decomposition,
+//      the pointed edge set keeps >= W/(2α) of the weight.
+//   2. The pointer graph's components each contain exactly one 2-cycle; its
+//      larger endpoint becomes the root, giving a rooted forest whose
+//      parent-edge weights are non-decreasing toward the root.
+//   3. congest::cole_vishkin_3color breaks symmetry in O(log* n) rounds; of
+//      the six leaf/center bipartitions of the 3 color classes the algorithm
+//      keeps the heaviest (>= 1/3 of the forest weight since every forest
+//      edge is captured by exactly 2 of the 6 bipartitions), plus every
+//      2-cycle edge — the heaviest edge of its component — unconditionally.
+//
+// Marked trees therefore have depth <= 2 (root, its 2-cycle partner, and one
+// layer of leaf-colored children on each), well inside the Lemma 4.3 depth-4
+// budget, and the captured weight is >= W/(6α) >= W/(8α). Everything is
+// deterministic: rerunning on the same WeightedGraph reproduces the stars
+// bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "congest/cole_vishkin.hpp"
+#include "graph/weighted.hpp"
+
+namespace mfd::decomp {
+
+struct HeavyStarsResult {
+  // star[v] = id of the marked tree v belongs to (the root vertex's id);
+  // vertices outside every marked tree are singleton stars of themselves.
+  std::vector<int> star;
+  // kept_parent[v] = parent of v inside its marked tree, -1 for roots and
+  // singletons. Consumers (ldd_local) walk this to merge under diameter
+  // guards.
+  std::vector<int> kept_parent;
+  int stars = 0;                     // number of distinct stars (incl. singletons)
+  std::int64_t captured_weight = 0;  // weight of marked-tree edges
+  std::int64_t total_weight = 0;     // weight of all edges
+  int cv_rounds = 0;                 // Cole–Vishkin rounds (O(log* n))
+  int rounds = 0;                    // total simulated rounds incl. cv_rounds
+  int max_marked_depth = 0;          // deepest marked tree (Lemma 4.3: <= 4)
+};
+
+inline HeavyStarsResult heavy_stars(const WeightedGraph& g) {
+  HeavyStarsResult out;
+  const int n = g.n();
+  out.total_weight = g.total_weight();
+  out.star.assign(n, 0);
+  out.kept_parent.assign(n, -1);
+
+  // 1. Point across the heaviest incident edge (tie: smaller neighbor id).
+  std::vector<int> pick(n, -1);
+  std::vector<std::int64_t> pick_w(n, 0);
+  for (int v = 0; v < n; ++v) {
+    std::int64_t best_w = -1;
+    int best_to = -1;
+    for (const auto& a : g.arcs(v)) {
+      if (a.w > best_w || (a.w == best_w && a.to < best_to)) {
+        best_w = a.w;
+        best_to = a.to;
+      }
+    }
+    pick[v] = best_to;
+    if (best_to >= 0) pick_w[v] = best_w;
+  }
+
+  // 2. Root each pointer component at the larger endpoint of its 2-cycle.
+  std::vector<int> parent(n, -1);
+  for (int v = 0; v < n; ++v) {
+    const int u = pick[v];
+    if (u < 0) continue;                 // isolated vertex
+    if (pick[u] == v && u < v) continue; // v is the root of its 2-cycle
+    parent[v] = u;
+  }
+
+  // 3. Cole–Vishkin 3-coloring of the pointer forest.
+  const congest::ColeVishkinResult cv =
+      congest::cole_vishkin_3color_forest(n, parent);
+  out.cv_rounds = cv.rounds;
+
+  // Weight of each (child color, parent color) class, 2-cycle edges apart.
+  // A vertex's parent edge IS its pick, so its weight is pick_w[v].
+  std::int64_t class_w[3][3] = {};
+  for (int v = 0; v < n; ++v) {
+    const int p = parent[v];
+    if (p < 0) continue;
+    if (pick[p] == v && parent[p] < 0) continue;  // 2-cycle edge, always kept
+    class_w[cv.color[v]][cv.color[p]] += pick_w[v];
+  }
+  // Best of the six leaf/center bipartitions of {0, 1, 2}: captured classes
+  // are (a in L, b not in L); every class lands in exactly 2 of the 6 masks.
+  int best_mask = 1;
+  std::int64_t best_cap = -1;
+  for (int mask = 1; mask <= 6; ++mask) {  // proper nonempty subsets of 3 bits
+    std::int64_t cap = 0;
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) {
+        if ((mask >> a & 1) && !(mask >> b & 1)) cap += class_w[a][b];
+      }
+    }
+    if (cap > best_cap) {
+      best_cap = cap;
+      best_mask = mask;
+    }
+  }
+
+  // Keep: 2-cycle edges + parent edges with leaf-colored child and
+  // center-colored parent. kept_parent records the marked-tree structure.
+  for (int v = 0; v < n; ++v) {
+    const int p = parent[v];
+    if (p < 0) continue;
+    const bool two_cycle = pick[p] == v && parent[p] < 0;
+    const bool leaf_center = (best_mask >> cv.color[v] & 1) &&
+                             !(best_mask >> cv.color[p] & 1);
+    if (two_cycle || leaf_center) {
+      out.kept_parent[v] = p;
+      out.captured_weight += pick_w[v];
+    }
+  }
+
+  // Stars = components of the kept forest; label by the top vertex and
+  // measure depth (kept_parent chains are <= 2 long by construction).
+  const auto top_of = [&out](int v) {
+    int depth = 0;
+    while (out.kept_parent[v] >= 0) {
+      v = out.kept_parent[v];
+      ++depth;
+    }
+    return std::pair<int, int>{v, depth};
+  };
+  std::vector<char> is_top(n, 1);
+  for (int v = 0; v < n; ++v) {
+    const auto [top, depth] = top_of(v);
+    out.star[v] = top;
+    if (depth > 0) is_top[v] = 0;
+    if (depth > out.max_marked_depth) out.max_marked_depth = depth;
+  }
+  for (int v = 0; v < n; ++v) out.stars += is_top[v];
+
+  // Rounds: 1 pointing round, the Cole–Vishkin phase, 1 round to agree on
+  // the best bipartition (a constant-size aggregate), 1 star-formation round.
+  out.rounds = 1 + out.cv_rounds + 2;
+  return out;
+}
+
+}  // namespace mfd::decomp

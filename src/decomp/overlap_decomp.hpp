@@ -1,0 +1,176 @@
+// (ε, φ, c) overlap expander decomposition — §4.2 / Lemma 4.1, in the
+// Chang–Saranurak (arXiv:2007.14898) style.
+//
+// Clusters may overlap: the object guarantees (i) every cluster's induced
+// support has conductance >= φ, (ii) every vertex lies in at most c
+// clusters, and (iii) all but an ε fraction of edges have both endpoints in
+// a common cluster. The construction levels it: level 0 runs the (ε', φ)
+// partition pipeline on G; the edges it cuts form the level-1 graph, which
+// gets its own partition; and so on until at most ε·m edges remain
+// uncovered. Each level covers at least half of its edges in practice, so
+// the level count — and hence the overlap c, since a vertex joins at most
+// one cluster per level — stays O(log 1/ε), the paper's bound.
+//
+// evaluate_overlap audits all three guarantees on the finished object;
+// min_support_phi_lower reuses graph/metrics.hpp::phi_certificate (exact
+// for tiny supports, Cheeger-estimate otherwise).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decomp/clustering.hpp"
+#include "decomp/expander_decomp.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "graph/ops.hpp"
+
+namespace mfd::decomp {
+
+/// A family of possibly-overlapping clusters over the vertex set [0, n).
+struct OverlapClustering {
+  int n = 0;
+  std::vector<std::vector<int>> members;  // members[c] = vertices of cluster c
+  int k() const { return static_cast<int>(members.size()); }
+};
+
+struct OverlapDecompParams {
+  double level_eps = 0.5;  // per-level cut target handed to the partition
+  int max_levels = 0;      // 0 derives ceil(log2(1/eps)) + 2
+  int min_level_edges = 1; // stop once fewer uncovered edges remain
+  ExpanderDecompParams expander;
+};
+
+struct OverlapDecompResult {
+  OverlapClustering oc;
+  int iterations = 0;      // levels actually built
+  double phi_target = 0.0; // the level-0 conductance target
+  Ledger ledger;
+  std::int64_t uncovered_edges = 0;
+};
+
+inline OverlapDecompResult overlap_expander_decomposition(
+    const Graph& g, double eps, OverlapDecompParams params = {}) {
+  OverlapDecompResult out;
+  out.oc.n = g.n();
+  const int max_levels =
+      params.max_levels > 0
+          ? params.max_levels
+          : static_cast<int>(std::ceil(std::log2(1.0 / eps))) + 2;
+  const std::int64_t allowance =
+      static_cast<std::int64_t>(eps * static_cast<double>(g.m()));
+
+  std::vector<std::pair<int, int>> uncovered = g.edges();
+  for (int level = 0; level < max_levels; ++level) {
+    if (static_cast<std::int64_t>(uncovered.size()) <= allowance ||
+        static_cast<int>(uncovered.size()) < params.min_level_edges) {
+      break;
+    }
+    // Level graph: the still-uncovered edges on their incident vertices.
+    std::vector<int> verts;
+    verts.reserve(2 * uncovered.size());
+    for (const auto& [u, v] : uncovered) {
+      verts.push_back(u);
+      verts.push_back(v);
+    }
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    std::vector<int> local(g.n(), -1);
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      local[verts[i]] = static_cast<int>(i);
+    }
+    std::vector<std::pair<int, int>> ledges;
+    ledges.reserve(uncovered.size());
+    for (const auto& [u, v] : uncovered) ledges.emplace_back(local[u], local[v]);
+    const Graph h =
+        Graph::from_edges(static_cast<int>(verts.size()), std::move(ledges));
+
+    const ExpanderDecomp ed =
+        expander_decomposition_minor_free(h, params.level_eps, params.expander);
+    if (level == 0) out.phi_target = ed.phi_target;
+    out.ledger.charge("level " + std::to_string(level) + " partition",
+                      ed.ledger.total());
+    ++out.iterations;
+
+    std::vector<std::vector<int>> cluster_members(ed.clustering.k);
+    for (int i = 0; i < h.n(); ++i) {
+      cluster_members[ed.clustering.cluster[i]].push_back(verts[i]);
+    }
+    for (auto& mem : cluster_members) {
+      if (!mem.empty()) out.oc.members.push_back(std::move(mem));
+    }
+    std::vector<std::pair<int, int>> still;
+    for (const auto& [u, v] : uncovered) {
+      if (ed.clustering.cluster[local[u]] != ed.clustering.cluster[local[v]]) {
+        still.emplace_back(u, v);
+      }
+    }
+    uncovered = std::move(still);
+  }
+  out.uncovered_edges = static_cast<std::int64_t>(uncovered.size());
+  return out;
+}
+
+/// Audited quality of an overlap decomposition. base.eps_fraction counts
+/// edges covered by NO cluster; base.cut_edges is that count; base's
+/// diameter/size/connectivity fields describe the cluster supports.
+struct OverlapQuality {
+  ClusterQuality base;
+  int overlap_c = 0;                  // max clusters sharing one vertex
+  double min_support_phi_lower = 1.0; // min certified support conductance
+};
+
+inline OverlapQuality evaluate_overlap(const Graph& g,
+                                       const OverlapClustering& oc,
+                                       int exact_phi_cap = 12) {
+  OverlapQuality q;
+  std::vector<std::vector<int>> of(g.n());  // clusters containing v, sorted
+  for (int c = 0; c < oc.k(); ++c) {
+    for (int v : oc.members[c]) of[v].push_back(c);
+  }
+  for (int v = 0; v < g.n(); ++v) {
+    q.overlap_c = std::max(q.overlap_c, static_cast<int>(of[v].size()));
+  }
+  for (int u = 0; u < g.n(); ++u) {
+    for (int v : g.neighbors(u)) {
+      if (u >= v) continue;
+      bool covered = false;
+      for (int c : of[u]) {
+        if (std::binary_search(of[v].begin(), of[v].end(), c)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) ++q.base.cut_edges;
+    }
+  }
+  q.base.eps_fraction = g.m() == 0 ? 0.0
+                                   : static_cast<double>(q.base.cut_edges) /
+                                         static_cast<double>(g.m());
+  for (const auto& mem : oc.members) {
+    q.base.max_cluster_size =
+        std::max(q.base.max_cluster_size, static_cast<int>(mem.size()));
+    const InducedSubgraph sub = induced_subgraph(g, mem);
+    if (!is_connected(sub.graph)) q.base.clusters_connected = false;
+    const PhiCertificate cert = phi_certificate(sub.graph, exact_phi_cap);
+    q.min_support_phi_lower = std::min(q.min_support_phi_lower, cert.phi);
+    // Support diameter via double sweep (lower bound, exact on trees).
+    int src = 0, diam = 0;
+    for (int sweep = 0; sweep < 2 && sub.graph.n() > 0; ++sweep) {
+      const std::vector<int> d = bfs_distances(sub.graph, src);
+      for (int i = 0; i < sub.graph.n(); ++i) {
+        if (d[i] > diam) {
+          diam = d[i];
+          src = i;
+        }
+      }
+    }
+    q.base.max_diameter = std::max(q.base.max_diameter, diam);
+  }
+  return q;
+}
+
+}  // namespace mfd::decomp

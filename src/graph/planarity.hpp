@@ -1,0 +1,326 @@
+// Planarity test: Euler bound + the left-right (LR) criterion.
+//
+// is_planar runs the linear-time left-right planarity test of de Fraysseix
+// and Rosenstiehl in Brandes' formulation ("The left-right planarity
+// test" — the same algorithm behind networkx.check_planarity): a DFS
+// orientation with lowpoint/nesting-depth bookkeeping, then a second DFS
+// maintaining a stack of conflict pairs of back-edge intervals — the graph
+// is planar iff no constraint ever forces a back edge onto both sides of
+// its fundamental cycle. Non-planarity carries the obstruction flavor that
+// fired: the m > 3n - 6 Euler bound, or an LR conflict (which witnesses a
+// K5 / K3,3 subdivision). Both DFS passes are iterative, so deep instances
+// (long paths, large triangulations) cannot overflow the call stack.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mfd {
+
+enum class PlanarityVerdict {
+  kPlanar,
+  kEulerBound,  // m > 3n - 6: density alone forces a Kuratowski subgraph
+  kLrConflict,  // left-right constraint conflict: K5/K3,3 subdivision
+};
+
+struct PlanarityResult {
+  bool planar = true;
+  PlanarityVerdict verdict = PlanarityVerdict::kPlanar;
+};
+
+namespace planarity_detail {
+
+constexpr int kNone = -1;
+
+struct Interval {
+  int low = kNone;  // oriented-edge ids; kNone = unset
+  int high = kNone;
+  bool empty() const { return low == kNone && high == kNone; }
+};
+
+struct ConflictPair {
+  Interval l, r;
+};
+
+class LrTester {
+ public:
+  explicit LrTester(const Graph& g) : g_(g), n_(g.n()) {}
+
+  bool planar() {
+    build_adjacency();
+    height_.assign(n_, kNone);
+    parent_edge_.assign(n_, kNone);
+    oriented_.assign(n_, {});
+    for (int root = 0; root < n_; ++root) {
+      if (height_[root] == kNone) {
+        height_[root] = 0;
+        dfs_orient(root);
+      }
+    }
+    for (int v = 0; v < n_; ++v) {
+      std::stable_sort(
+          oriented_[v].begin(), oriented_[v].end(),
+          [this](int a, int b) { return nesting_[a] < nesting_[b]; });
+    }
+    const int me = static_cast<int>(src_.size());
+    ref_.assign(me, kNone);
+    lowpt_edge_.assign(me, kNone);
+    stack_bottom_.assign(me, 0);
+    for (int root = 0; root < n_; ++root) {
+      if (parent_edge_[root] == kNone && height_[root] == 0) {
+        if (!dfs_test(root)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void build_adjacency() {
+    const auto edges = g_.edges();
+    used_.assign(edges.size(), 0);
+    adj_.assign(n_, {});
+    for (std::size_t id = 0; id < edges.size(); ++id) {
+      adj_[edges[id].first].push_back({edges[id].second, static_cast<int>(id)});
+      adj_[edges[id].second].push_back({edges[id].first, static_cast<int>(id)});
+    }
+  }
+
+  int new_oriented_edge(int v, int w) {
+    src_.push_back(v);
+    dst_.push_back(w);
+    lowpt_.push_back(height_[v]);
+    lowpt2_.push_back(height_[v]);
+    nesting_.push_back(0);
+    oriented_[v].push_back(static_cast<int>(src_.size()) - 1);
+    return static_cast<int>(src_.size()) - 1;
+  }
+
+  // Nesting depth of a finished oriented edge + lowpoint merge into the
+  // parent edge of its source.
+  void finish_edge(int e) {
+    const int v = src_[e];
+    nesting_[e] = 2 * lowpt_[e] + (lowpt2_[e] < height_[v] ? 1 : 0);
+    const int pe = parent_edge_[v];
+    if (pe == kNone) return;
+    if (lowpt_[e] < lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt_[pe], lowpt2_[e]);
+      lowpt_[pe] = lowpt_[e];
+    } else if (lowpt_[e] > lowpt_[pe]) {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt_[e]);
+    } else {
+      lowpt2_[pe] = std::min(lowpt2_[pe], lowpt2_[e]);
+    }
+  }
+
+  void dfs_orient(int root) {
+    struct Frame {
+      int v;
+      std::size_t i = 0;       // next adjacency slot
+      int pending = kNone;     // tree edge whose subtree just finished
+    };
+    std::vector<Frame> stack = {{root, 0, kNone}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.pending != kNone) {
+        finish_edge(f.pending);
+        f.pending = kNone;
+      }
+      bool descended = false;
+      while (f.i < adj_[f.v].size()) {
+        const auto [w, id] = adj_[f.v][f.i++];
+        if (used_[id]) continue;
+        used_[id] = 1;
+        const int e = new_oriented_edge(f.v, w);
+        if (height_[w] == kNone) {  // tree edge
+          parent_edge_[w] = e;
+          height_[w] = height_[f.v] + 1;
+          f.pending = e;
+          stack.push_back({w, 0, kNone});
+          descended = true;
+          break;
+        }
+        lowpt_[e] = height_[w];  // back edge
+        finish_edge(e);
+      }
+      if (!descended && stack.back().i >= adj_[stack.back().v].size() &&
+          stack.back().pending == kNone) {
+        stack.pop_back();
+      }
+    }
+  }
+
+  bool conflicting(const Interval& i, int b) const {
+    return !i.empty() && lowpt_[i.high] > lowpt_[b];
+  }
+
+  int lowest(const ConflictPair& p) const {
+    if (p.l.empty() && p.r.empty()) return std::numeric_limits<int>::max();
+    if (p.l.empty()) return lowpt_[p.r.low];
+    if (p.r.empty()) return lowpt_[p.l.low];
+    return std::min(lowpt_[p.l.low], lowpt_[p.r.low]);
+  }
+
+  void set_ref(int e, int target) {
+    if (e != kNone) ref_[e] = target;
+  }
+
+  bool add_constraints(int ei, int e) {
+    ConflictPair p;
+    // Merge the return edges of ei into p.r.
+    do {
+      if (s_.empty()) break;  // defensive; the LR invariant forbids this
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (!q.l.empty()) std::swap(q.l, q.r);
+      if (!q.l.empty()) return false;  // not planar
+      if (lowpt_[q.r.low] > lowpt_[e]) {
+        if (p.r.empty()) {
+          p.r.high = q.r.high;
+        } else {
+          set_ref(p.r.low, q.r.high);
+        }
+        p.r.low = q.r.low;
+      } else {
+        set_ref(q.r.low, lowpt_edge_[e]);  // align
+      }
+    } while (static_cast<int>(s_.size()) > stack_bottom_[ei]);
+    // Merge the conflicting return edges of earlier siblings into p.l.
+    while (!s_.empty() &&
+           (conflicting(s_.back().l, ei) || conflicting(s_.back().r, ei))) {
+      ConflictPair q = s_.back();
+      s_.pop_back();
+      if (conflicting(q.r, ei)) std::swap(q.l, q.r);
+      if (conflicting(q.r, ei)) return false;  // not planar
+      set_ref(p.r.low, q.r.high);  // merge interval below lowpt(ei) into p.r
+      if (q.r.low != kNone) p.r.low = q.r.low;
+      if (p.l.empty()) {
+        p.l.high = q.l.high;
+      } else {
+        set_ref(p.l.low, q.l.high);
+      }
+      p.l.low = q.l.low;
+    }
+    if (!(p.l.empty() && p.r.empty())) s_.push_back(p);
+    return true;
+  }
+
+  void trim_back_edges(int u) {
+    // Drop entire conflict pairs returning exactly to u.
+    while (!s_.empty() && lowest(s_.back()) == height_[u]) s_.pop_back();
+    if (s_.empty()) return;
+    // One more pair may need partial trimming.
+    ConflictPair p = s_.back();
+    s_.pop_back();
+    while (p.l.high != kNone && dst_[p.l.high] == u) p.l.high = ref_[p.l.high];
+    if (p.l.high == kNone && p.l.low != kNone) {  // just emptied
+      set_ref(p.l.low, p.r.low);
+      p.l.low = kNone;
+    }
+    while (p.r.high != kNone && dst_[p.r.high] == u) p.r.high = ref_[p.r.high];
+    if (p.r.high == kNone && p.r.low != kNone) {
+      set_ref(p.r.low, p.l.low);
+      p.r.low = kNone;
+    }
+    s_.push_back(p);
+  }
+
+  // Constraint bits of edge ei at its source v, run once ei's subtree (or
+  // the back edge itself) is done.
+  bool integrate_edge(int ei, int v) {
+    if (lowpt_[ei] >= height_[v]) return true;  // no return edge
+    const int pe = parent_edge_[v];
+    if (ei == oriented_[v].front()) {
+      if (pe != kNone) lowpt_edge_[pe] = lowpt_edge_[ei];
+      return true;
+    }
+    return add_constraints(ei, pe);
+  }
+
+  bool dfs_test(int root) {
+    struct Frame {
+      int v;
+      std::size_t i = 0;
+      int pending = kNone;
+    };
+    std::vector<Frame> stack = {{root, 0, kNone}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.pending != kNone) {
+        const int done = f.pending;
+        f.pending = kNone;
+        if (!integrate_edge(done, f.v)) return false;
+      }
+      bool descended = false;
+      while (f.i < oriented_[f.v].size()) {
+        const int ei = oriented_[f.v][f.i++];
+        stack_bottom_[ei] = static_cast<int>(s_.size());
+        if (parent_edge_[dst_[ei]] == ei) {  // tree edge
+          f.pending = ei;
+          stack.push_back({dst_[ei], 0, kNone});
+          descended = true;
+          break;
+        }
+        lowpt_edge_[ei] = ei;  // back edge
+        s_.push_back({Interval{}, Interval{ei, ei}});
+        if (!integrate_edge(ei, f.v)) return false;
+      }
+      if (descended) continue;
+      if (f.i >= oriented_[f.v].size() && f.pending == kNone) {
+        const int e = parent_edge_[f.v];
+        if (e != kNone) {
+          const int u = src_[e];
+          trim_back_edges(u);
+          if (lowpt_[e] < height_[u] && !s_.empty()) {
+            // The side of e follows its highest return edge.
+            const int hl = s_.back().l.high;
+            const int hr = s_.back().r.high;
+            if (hl != kNone && (hr == kNone || lowpt_[hl] > lowpt_[hr])) {
+              ref_[e] = hl;
+            } else {
+              ref_[e] = hr;
+            }
+          }
+        }
+        stack.pop_back();
+      }
+    }
+    return true;
+  }
+
+  const Graph& g_;
+  int n_;
+  std::vector<std::vector<std::pair<int, int>>> adj_;  // (neighbor, edge id)
+  std::vector<char> used_;
+  std::vector<int> height_, parent_edge_;
+  std::vector<int> src_, dst_, lowpt_, lowpt2_, nesting_;  // per oriented edge
+  std::vector<std::vector<int>> oriented_;  // outgoing oriented edges of v
+  std::vector<int> ref_, lowpt_edge_, stack_bottom_;
+  std::vector<ConflictPair> s_;
+};
+
+}  // namespace planarity_detail
+
+inline PlanarityResult check_planarity(const Graph& g) {
+  PlanarityResult out;
+  if (g.n() >= 3 && g.m() > 3 * static_cast<std::int64_t>(g.n()) - 6) {
+    out.planar = false;
+    out.verdict = PlanarityVerdict::kEulerBound;
+    return out;
+  }
+  if (g.n() < 5) return out;  // K5 needs 5 vertices, K3,3 needs 6
+  planarity_detail::LrTester tester(g);
+  if (!tester.planar()) {
+    out.planar = false;
+    out.verdict = PlanarityVerdict::kLrConflict;
+  }
+  return out;
+}
+
+inline bool is_planar(const Graph& g) { return check_planarity(g).planar; }
+
+}  // namespace mfd

@@ -42,6 +42,9 @@ class Rng {
     return lo + static_cast<int>(next() % span);
   }
 
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next() % n; }
+
   /// Uniform double in [0, 1).
   double uniform() {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;

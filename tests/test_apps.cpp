@@ -1,0 +1,122 @@
+// apps/ exact kernels vs brute force on small random graphs, plus known
+// closed-form instances. These are the centralized baselines bench_kernels
+// and the Theorem 1.2 application benches grade against.
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/blossom.hpp"
+#include "apps/exact.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "test_main.hpp"
+
+using namespace mfd;
+
+namespace {
+
+int brute_mis(const Graph& g) {
+  int best = 0;
+  for (unsigned mask = 0; mask < (1u << g.n()); ++mask) {
+    bool ok = true;
+    int cnt = 0;
+    for (int v = 0; v < g.n() && ok; ++v) {
+      if (!(mask >> v & 1)) continue;
+      ++cnt;
+      for (int w : g.neighbors(v)) {
+        if (w > v && (mask >> w & 1)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) best = std::max(best, cnt);
+  }
+  return best;
+}
+
+int brute_matching(const Graph& g) {
+  const auto edges = g.edges();
+  int best = 0;
+  for (unsigned mask = 0; mask < (1u << edges.size()); ++mask) {
+    std::vector<char> used(g.n(), 0);
+    bool ok = true;
+    int cnt = 0;
+    for (std::size_t i = 0; i < edges.size() && ok; ++i) {
+      if (!(mask >> i & 1)) continue;
+      const auto [a, b] = edges[i];
+      if (used[a] || used[b]) ok = false;
+      used[a] = used[b] = 1;
+      ++cnt;
+    }
+    if (ok) best = std::max(best, cnt);
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST_CASE(blossom_matches_brute_force) {
+  Rng rng(99);
+  int tested = 0;
+  while (tested < 40) {
+    const int n = 4 + static_cast<int>(rng.next_below(8));
+    std::vector<std::pair<int, int>> e;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.next_below(100) < 35) e.emplace_back(a, b);
+      }
+    }
+    const Graph g = Graph::from_edges(n, std::move(e));
+    if (g.m() > 14) continue;  // keep the 2^m brute force cheap
+    ++tested;
+    CHECK_MSG(apps::max_matching(g).size == brute_matching(g),
+              "trial " + std::to_string(tested));
+  }
+}
+
+TEST_CASE(blossom_known_instances) {
+  CHECK(apps::max_matching(complete_graph(6)).size == 3);
+  CHECK(apps::max_matching(cycle_graph(5)).size == 2);  // odd cycle: blossom
+  CHECK(apps::max_matching(path_graph(4)).size == 2);
+  CHECK(apps::max_matching(add_apex(cycle_graph(8))).size == 4);
+  // The matching array is an involution onto real partners.
+  Rng rng(5);
+  const Graph g = random_maximal_planar(300, rng);
+  const apps::Matching m = apps::max_matching(g);
+  for (int v = 0; v < g.n(); ++v) {
+    if (m.match[v] >= 0) {
+      CHECK(m.match[m.match[v]] == v);
+      CHECK(g.has_edge(v, m.match[v]));
+    }
+  }
+}
+
+TEST_CASE(exact_mis_matches_brute_force) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(10));
+    std::vector<std::pair<int, int>> e;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.next_below(100) < 35) e.emplace_back(a, b);
+      }
+    }
+    const Graph g = Graph::from_edges(n, std::move(e));
+    CHECK_MSG(apps::max_independent_set(g) == brute_mis(g),
+              "trial " + std::to_string(trial));
+  }
+}
+
+TEST_CASE(exact_mis_known_instances) {
+  CHECK(apps::max_independent_set(cycle_graph(7)) == 3);
+  CHECK(apps::max_independent_set(complete_graph(8)) == 1);
+  CHECK(apps::max_independent_set(path_graph(9)) == 5);
+  CHECK(apps::max_independent_set(grid_graph(4, 4)) == 8);
+  Rng rng(5);
+  const Graph g = random_maximal_planar(120, rng);
+  const int mis = apps::max_independent_set(g);
+  // Planar triangulations: alpha >= n/4 by the four color theorem.
+  CHECK(mis >= 30);
+}

@@ -1,0 +1,140 @@
+// Decomposition-engine invariants across the new Section-4 pipeline:
+//   * EDT chop modes: both engines meet the hard ε budget with connected
+//     clusters; the local engine's rounds stay diameter-free while the
+//     global chop pays BFS depth; both are deterministic,
+//   * (ε, φ) expander decomposition: valid partition, certified φ > 0,
+//     cut fraction within budget, deterministic,
+//   * (ε, φ, c) overlap decomposition: supports connected, overlap c
+//     bounded by the level cap, uncovered fraction <= ε,
+//   * evaluate_clustering: the sampled-eccentricity estimator is a lower
+//     bound of (and close to) the forced-exact diameter, and cut counts
+//     agree exactly.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "decomp/edt.hpp"
+#include "decomp/expander_decomp.hpp"
+#include "decomp/overlap_decomp.hpp"
+#include "test_main.hpp"
+
+using namespace mfd;
+using namespace mfd::decomp;
+using mfd::bench::make_family;
+
+TEST_CASE(edt_chop_modes_both_meet_budget) {
+  Rng rng(23);
+  const Graph g = make_family("grid", 1024, rng);
+  for (const auto chop : {EdtChop::kLocalContraction, EdtChop::kGlobalBfs}) {
+    const std::string ctx =
+        chop == EdtChop::kGlobalBfs ? "global" : "local";
+    for (double eps : {0.2, 0.4}) {
+      EdtParams p;
+      p.chop = chop;
+      const EdtDecomposition d = build_edt_decomposition(g, eps, p);
+      CHECK_MSG(is_valid_partition(g, d.clustering), ctx);
+      CHECK_MSG(d.quality.clusters_connected, ctx);
+      CHECK_MSG(d.quality.eps_fraction <= eps + 1e-12, ctx);
+      CHECK_MSG(d.quality.max_diameter <= 20.0 / eps + 10.0, ctx);
+      CHECK_MSG(d.clustering.k > 1, ctx);
+      CHECK_MSG(d.T_measured > 0, ctx);
+    }
+  }
+}
+
+TEST_CASE(edt_local_rounds_beat_global_chop) {
+  // On a 64x64 grid the chop pays ~sqrt(n) BFS depth per pass; the local
+  // engine pays log* n + O(1/eps) per iteration.
+  Rng rng(3);
+  const Graph g = make_family("grid", 4096, rng);
+  EdtParams global;
+  global.chop = EdtChop::kGlobalBfs;
+  const EdtDecomposition dl = build_edt_decomposition(g, 0.3);
+  const EdtDecomposition dg = build_edt_decomposition(g, 0.3, global);
+  CHECK_MSG(dl.ledger.total() < dg.ledger.total(),
+            "local " + std::to_string(dl.ledger.total()) + " vs global " +
+                std::to_string(dg.ledger.total()));
+}
+
+TEST_CASE(edt_local_deterministic) {
+  Rng r1(37), r2(37);
+  const Graph a = make_family("planar", 512, r1);
+  const Graph b = make_family("planar", 512, r2);
+  const EdtDecomposition da = build_edt_decomposition(a, 0.3);
+  const EdtDecomposition db = build_edt_decomposition(b, 0.3);
+  CHECK(da.clustering.cluster == db.clustering.cluster);
+  CHECK(da.ledger.total() == db.ledger.total());
+}
+
+TEST_CASE(expander_decomp_certified) {
+  Rng rng(4);
+  const Graph g = make_family("grid", 1024, rng);
+  for (double eps : {0.6, 0.4}) {
+    const std::string ctx = "eps=" + Table::num(eps, 1);
+    const ExpanderDecomp ed = expander_decomposition_minor_free(g, eps);
+    CHECK_MSG(is_valid_partition(g, ed.clustering), ctx);
+    const ClusterQuality q = evaluate_clustering(g, ed.clustering);
+    CHECK_MSG(q.clusters_connected, ctx);
+    CHECK_MSG(q.eps_fraction <= eps + 1e-12, ctx + ": cut budget");
+    CHECK_MSG(ed.phi_target > 0.0, ctx);
+    CHECK_MSG(ed.min_certified_phi > 0.0, ctx + ": certificate");
+    CHECK_MSG(ed.ledger.total() > 0, ctx);
+  }
+  // Determinism: no Rng flows into the pipeline.
+  const ExpanderDecomp a = expander_decomposition_minor_free(g, 0.5);
+  const ExpanderDecomp b = expander_decomposition_minor_free(g, 0.5);
+  CHECK(a.clustering.cluster == b.clustering.cluster);
+  CHECK(a.min_certified_phi == b.min_certified_phi);
+}
+
+TEST_CASE(overlap_decomp_bounds) {
+  Rng rng(4);
+  const Graph g = make_family("grid", 1024, rng);
+  for (double eps : {0.5, 0.25, 0.15}) {
+    const std::string ctx = "eps=" + Table::num(eps, 2);
+    const OverlapDecompResult od = overlap_expander_decomposition(g, eps);
+    const OverlapQuality q = evaluate_overlap(g, od.oc);
+    CHECK_MSG(q.base.clusters_connected, ctx + ": supports connected");
+    CHECK_MSG(q.base.eps_fraction <= eps + 1e-12, ctx + ": uncovered");
+    const int c_cap = static_cast<int>(std::ceil(std::log2(1.0 / eps))) + 2;
+    CHECK_MSG(q.overlap_c >= 1 && q.overlap_c <= c_cap,
+              ctx + ": c=" + std::to_string(q.overlap_c));
+    CHECK_MSG(od.iterations >= 1 && od.iterations <= c_cap, ctx);
+    CHECK_MSG(q.min_support_phi_lower > 0.0, ctx);
+    // Every cluster member id is a real vertex.
+    for (const auto& mem : od.oc.members) {
+      CHECK_MSG(!mem.empty(), ctx);
+      for (int v : mem) CHECK_MSG(v >= 0 && v < g.n(), ctx);
+    }
+  }
+}
+
+TEST_CASE(evaluate_clustering_sampled_vs_exact) {
+  // One big path cluster: sampled eccentricity must equal the exact
+  // diameter on trees (double sweep is exact there), and in general stay a
+  // lower bound that agrees on cut accounting.
+  const Graph path = path_graph(500);
+  Clustering one;
+  one.k = 1;
+  one.cluster.assign(500, 0);
+  EvalParams exact;
+  exact.force_exact = true;
+  const ClusterQuality qe = evaluate_clustering(path, one, exact);
+  EvalParams sampled;
+  sampled.exact_cap = 8;  // force the sampling path
+  const ClusterQuality qs = evaluate_clustering(path, one, sampled);
+  CHECK(qe.max_diameter == 499);
+  CHECK(qs.max_diameter == 499);
+  CHECK(qe.cut_edges == qs.cut_edges);
+
+  Rng rng(8);
+  const Graph g = make_family("grid", 2048, rng);
+  const EdtDecomposition d = build_edt_decomposition(g, 0.3);
+  const ClusterQuality a = evaluate_clustering(g, d.clustering, exact);
+  const ClusterQuality b = evaluate_clustering(g, d.clustering, sampled);
+  CHECK(a.cut_edges == b.cut_edges);
+  CHECK(a.clusters_connected == b.clusters_connected);
+  CHECK_MSG(b.max_diameter <= a.max_diameter, "estimate exceeded exact");
+  CHECK_MSG(2 * b.max_diameter >= a.max_diameter, "estimate below 2x bound");
+}

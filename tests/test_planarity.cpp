@@ -1,0 +1,129 @@
+// graph/planarity.hpp invariants:
+//   * every planar generator family tests planar (the ten families minus
+//     ktree3, whose random instances stack three vertices on one triangle
+//     and thereby contain K3,3 subdivisions),
+//   * K5, K3,3, the Petersen graph, and random subdivisions of K5/K3,3
+//     test non-planar — subdivisions keep m <= 3n - 6, so these exercise
+//     the LR machinery rather than the Euler filter,
+//   * apexed expanders (apex over a random 3-regular graph) are non-planar,
+//   * maximal planar graphs are edge-maximal: adding any non-edge flips
+//     the verdict,
+//   * the Euler filter reports its own verdict on dense graphs.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/ops.hpp"
+#include "graph/planarity.hpp"
+#include "test_main.hpp"
+
+using namespace mfd;
+using mfd::bench::make_family;
+
+namespace {
+
+Graph k33() {
+  std::vector<std::pair<int, int>> e;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 3; b < 6; ++b) e.emplace_back(a, b);
+  }
+  return Graph::from_edges(6, std::move(e));
+}
+
+Graph petersen() {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i < 5; ++i) {
+    e.emplace_back(i, (i + 1) % 5);
+    e.emplace_back(i, i + 5);
+    e.emplace_back(i + 5, 5 + (i + 2) % 5);
+  }
+  return Graph::from_edges(10, std::move(e));
+}
+
+/// Subdivide `times` random edges (planarity-preserving in both directions).
+Graph subdivide(const Graph& g, int times, Rng& rng) {
+  auto edges = g.edges();
+  int n = g.n();
+  for (int t = 0; t < times; ++t) {
+    const int ei = rng.uniform_int(0, static_cast<int>(edges.size()) - 1);
+    const auto [a, b] = edges[ei];
+    edges[ei] = {a, n};
+    edges.emplace_back(n, b);
+    ++n;
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace
+
+TEST_CASE(planarity_minor_free_families) {
+  for (const char* fam :
+       {"tree", "cycle", "path", "grid", "outerplanar", "planar",
+        "planar-sparse", "cactus", "series-parallel"}) {
+    Rng rng(5);
+    CHECK_MSG(is_planar(make_family(fam, 600, rng)), fam);
+  }
+  CHECK(is_planar(add_apex(cycle_graph(24))));  // the wheel
+  CHECK(is_planar(complete_graph(4)));
+  CHECK(is_planar(Graph::from_edges(0, {})));
+  CHECK(is_planar(Graph::from_edges(1, {})));
+}
+
+TEST_CASE(planarity_kuratowski_negative) {
+  CHECK(!is_planar(complete_graph(5)));
+  CHECK(!is_planar(k33()));
+  CHECK(!is_planar(petersen()));
+  // K6 is dense enough for the Euler verdict; Petersen needs the LR one.
+  CHECK(check_planarity(complete_graph(6)).verdict ==
+        PlanarityVerdict::kEulerBound);
+  CHECK(check_planarity(petersen()).verdict == PlanarityVerdict::kLrConflict);
+}
+
+TEST_CASE(planarity_subdivisions_stay_nonplanar) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 11);
+    CHECK_MSG(!is_planar(subdivide(complete_graph(5), 40, rng)),
+              "K5 subdivision seed=" + std::to_string(seed));
+    CHECK_MSG(!is_planar(subdivide(k33(), 40, rng)),
+              "K3,3 subdivision seed=" + std::to_string(seed));
+  }
+  // Non-planar piece hiding inside a larger planar host (disjoint union).
+  std::vector<std::pair<int, int>> e = grid_graph(8, 8).edges();
+  for (int a = 64; a < 69; ++a) {
+    for (int b = a + 1; b < 69; ++b) e.emplace_back(a, b);
+  }
+  CHECK(!is_planar(Graph::from_edges(69, std::move(e))));
+}
+
+TEST_CASE(planarity_apexed_expanders) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 3 + 1);
+    CHECK_MSG(!is_planar(add_apex(random_regular(40, 3, rng))),
+              "apexed 3-regular seed=" + std::to_string(seed));
+  }
+  // Random 3-trees stack vertices on shared triangles: K3,3 subdivisions.
+  Rng rng(5);
+  CHECK(!is_planar(make_family("ktree3", 600, rng)));
+}
+
+TEST_CASE(planarity_maximal_planar_edge_maximal) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const int n = 20 + static_cast<int>(rng.next_below(200));
+    const Graph g = random_maximal_planar(n, rng);
+    CHECK_MSG(is_planar(g), "seed=" + std::to_string(seed));
+    for (int t = 0; t < 3; ++t) {
+      const int a = static_cast<int>(rng.next_below(n));
+      const int b = static_cast<int>(rng.next_below(n));
+      if (a == b || g.has_edge(a, b)) {
+        --t;
+        continue;
+      }
+      auto e = g.edges();
+      e.emplace_back(a, b);
+      CHECK_MSG(!is_planar(Graph::from_edges(n, std::move(e))),
+                "added (" + std::to_string(a) + "," + std::to_string(b) + ")");
+    }
+  }
+}
