@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   // --n caps every instance size; the defaults sit far below the tier-1
   // smoke value (4096), so the cap only bites when set small.
   const int ncap = static_cast<int>(cli.get_int("n", 1 << 20));
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-ABL: ablations", "design-choice ablations (DESIGN.md §3)");
 

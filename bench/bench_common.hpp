@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "congest/runtime.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "util/cli.hpp"
@@ -16,6 +17,8 @@
 #include "util/table.hpp"
 
 namespace mfd::bench {
+
+using congest::log_star;  // benches quote round counts in log* units
 
 /// Graph families used across experiments (all H-minor-free except the
 /// negative-instance families).

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_int("n", cli.has("smoke") ? 256 : 1024));
   Rng rng(cli.get_int("seed", 4));
   const Graph g = make_family(cli.get("family", "grid"), n, rng);
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-EXPDEC: Corollary 6.2",
                "(eps, phi) and (eps, phi, c) expander decompositions");

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 10));
   const int shrink = cli.has("smoke") ? 4 : 1;  // --smoke quarters every n
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-HSTAR: Lemma 4.2",
                "heavy-stars weight capture >= 1/(8*alpha)");

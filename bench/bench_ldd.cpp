@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(cli.get_int("n", 10000));
   Rng rng(cli.get_int("seed", 3));
   const Graph g = make_family(cli.get("family", "grid"), n, rng);
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-LDD: Corollary 6.1 + baselines",
                "(eps, D) low-diameter decomposition: ours vs CHW(LOCAL) vs "

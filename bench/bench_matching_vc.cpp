@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   using namespace mfd::bench;
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 8));
+  const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-MATCHVC: Corollary 6.4",
                "(1-eps) maximum matching and (1+eps) minimum vertex cover");
@@ -22,11 +24,15 @@ int main(int argc, char** argv) {
     Graph g;
     int alpha;
   };
+  const int np = smoke ? 60 : 100, no = smoke ? 100 : 160,
+            side = smoke ? 10 : 14;
   std::vector<Inst> instances;
-  instances.push_back({"planar(100)", random_maximal_planar(100, rng), 3});
-  instances.push_back({"outerplanar(160)",
-                       random_maximal_outerplanar(160, rng), 2});
-  instances.push_back({"grid(196)", grid_graph(14, 14), 3});
+  instances.push_back({"planar(" + std::to_string(np) + ")",
+                       random_maximal_planar(np, rng), 3});
+  instances.push_back({"outerplanar(" + std::to_string(no) + ")",
+                       random_maximal_outerplanar(no, rng), 2});
+  instances.push_back({"grid(" + std::to_string(side * side) + ")",
+                       grid_graph(side, side), 3});
 
   std::cout << "-- maximum matching\n";
   Table tm({"instance", "eps", "|M|", "OPT", "ratio", "1-eps", "rounds"});

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   using namespace mfd::bench;
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 6));
+  const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-MAXCUT: Corollary 6.3", "(1-eps)-approximate max cut");
 
@@ -27,14 +29,18 @@ int main(int argc, char** argv) {
   };
   std::vector<Inst> instances;
   {
-    const Graph small = random_maximal_planar(24, rng);
-    instances.push_back({"planar(24) exact-OPT", small,
-                         apps::max_cut(small, 26).cut_edges});
-    const Graph grid = grid_graph(20, 20);
-    instances.push_back({"grid(400) OPT=m", grid, grid.m()});
-    const Graph outer = random_maximal_outerplanar(200, rng);
+    const int ns = smoke ? 20 : 24, side = smoke ? 12 : 20,
+              no = smoke ? 100 : 200;
+    const Graph small = random_maximal_planar(ns, rng);
+    instances.push_back({"planar(" + std::to_string(ns) + ") exact-OPT",
+                         small, apps::max_cut(small, 26).cut_edges});
+    const Graph grid = grid_graph(side, side);
+    instances.push_back({"grid(" + std::to_string(side * side) + ") OPT=m",
+                         grid, grid.m()});
+    const Graph outer = random_maximal_outerplanar(no, rng);
     // Upper bound only: OPT <= m; ratio column then underestimates.
-    instances.push_back({"outerplanar(200) OPT<=m", outer, outer.m()});
+    instances.push_back({"outerplanar(" + std::to_string(no) + ") OPT<=m",
+                         outer, outer.m()});
   }
   for (const Inst& inst : instances) {
     for (double eps : {0.4, 0.25, 0.15}) {

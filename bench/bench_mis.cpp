@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   using namespace mfd::bench;
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 7));
+  const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-MIS: Corollary 6.5 + Theorem 6.1",
                "(1-eps)-approximate maximum independent set");
@@ -27,11 +29,15 @@ int main(int argc, char** argv) {
     Graph g;
     int alpha;
   };
+  const int np = smoke ? 60 : 120, no = smoke ? 80 : 150,
+            nt = smoke ? 100 : 200;
   std::vector<Inst> instances;
-  instances.push_back({"planar(120)", random_maximal_planar(120, rng), 3});
-  instances.push_back({"outerplanar(150)",
-                       random_maximal_outerplanar(150, rng), 2});
-  instances.push_back({"tree(200)", random_tree(200, rng), 1});
+  instances.push_back({"planar(" + std::to_string(np) + ")",
+                       random_maximal_planar(np, rng), 3});
+  instances.push_back({"outerplanar(" + std::to_string(no) + ")",
+                       random_maximal_outerplanar(no, rng), 2});
+  instances.push_back({"tree(" + std::to_string(nt) + ")",
+                       random_tree(nt, rng), 1});
   for (const Inst& inst : instances) {
     const apps::MisResult opt = apps::max_independent_set(inst.g);
     for (double eps : {0.5, 0.3}) {
@@ -53,7 +59,8 @@ int main(int argc, char** argv) {
   std::cout << "\n-- lower-bound shape (Thm 6.1): rounds vs n on cycles, "
                "eps = 0.3\n";
   Table t2({"n", "log*(n)", "rounds", "ratio"});
-  for (int n : {100, 1000, 10000, 100000}) {
+  for (int n : smoke ? std::vector<int>{100, 1000, 10000}
+                     : std::vector<int>{100, 1000, 10000, 100000}) {
     const Graph c = cycle_graph(n);
     const apps::SetSolution sol = apps::approx_max_independent_set(c, 0.3, 1);
     // OPT of a cycle = floor(n/2).

@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   using namespace mfd::bench;
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 9));
+  const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-PTEST: Corollary 6.6 + Theorem 6.2",
                "property testing of additive minor-closed properties");
@@ -29,33 +31,42 @@ int main(int argc, char** argv) {
     Family fam;
     bool expect_accept;
   };
+  const int half = smoke ? 2 : 1;  // smoke halves every instance size
+  const auto label = [](const std::string& base, int size) {
+    return base + "(" + std::to_string(size) + ")";
+  };
   std::vector<Case> cases;
-  cases.push_back({"planar(600)", random_maximal_planar(600, rng),
+  cases.push_back({label("planar", 600 / half),
+                   random_maximal_planar(600 / half, rng), Family::kPlanar,
+                   true});
+  cases.push_back({label("grid", 400 / half), grid_graph(20 / half, 20),
                    Family::kPlanar, true});
-  cases.push_back({"grid(400)", grid_graph(20, 20), Family::kPlanar,
-                   true});
-  cases.push_back({"K6-chain(15)", clique_chain(15, 6), Family::kPlanar,
-                   false});
-  cases.push_back({"K40", complete_graph(40), Family::kPlanar, false});
-  cases.push_back({"6-regular(120)", random_regular(120, 6, rng),
+  cases.push_back({label("K6-chain", 15 / half), clique_chain(15 / half, 6),
                    Family::kPlanar, false});
-  cases.push_back({"forest(300)",
-                   disjoint_union(random_tree(200, rng), random_tree(100, rng)),
+  cases.push_back({"K" + std::to_string(40 / half),
+                   complete_graph(40 / half), Family::kPlanar, false});
+  cases.push_back({label("6-regular", 120 / half),
+                   random_regular(120 / half, 6, rng), Family::kPlanar,
+                   false});
+  cases.push_back({label("forest", 300 / half),
+                   disjoint_union(random_tree(200 / half, rng),
+                                  random_tree(100 / half, rng)),
                    Family::kForest, true});
-  cases.push_back({"triangle-chain(20)", clique_chain(20, 3),
-                   Family::kForest, false});
-  cases.push_back({"outerplanar(400)", random_maximal_outerplanar(400, rng),
+  cases.push_back({label("triangle-chain", 20 / half),
+                   clique_chain(20 / half, 3), Family::kForest, false});
+  cases.push_back({label("outerplanar", 400 / half),
+                   random_maximal_outerplanar(400 / half, rng),
                    Family::kOuterplanar, true});
-  cases.push_back({"K5-chain(15)", clique_chain(15, 5),
+  cases.push_back({label("K5-chain", 15 / half), clique_chain(15 / half, 5),
                    Family::kOuterplanar, false});
-  cases.push_back({"cactus(300)", random_cactus(300, rng), Family::kCactus,
-                   true});
-  cases.push_back({"K4-chain(25)", clique_chain(25, 4), Family::kCactus,
-                   false});
-  cases.push_back({"path(300)", path_graph(300), Family::kLinearForest,
-                   true});
-  cases.push_back({"spider(200)", star_graph(200), Family::kLinearForest,
-                   false});
+  cases.push_back({label("cactus", 300 / half),
+                   random_cactus(300 / half, rng), Family::kCactus, true});
+  cases.push_back({label("K4-chain", 25 / half), clique_chain(25 / half, 4),
+                   Family::kCactus, false});
+  cases.push_back({label("path", 300 / half), path_graph(300 / half),
+                   Family::kLinearForest, true});
+  cases.push_back({label("spider", 200 / half), star_graph(200 / half),
+                   Family::kLinearForest, false});
   int correct = 0;
   for (const Case& c : cases) {
     const apps::PropertyTestResult res = apps::test_property(c.g, c.fam, 0.2);
@@ -73,7 +84,8 @@ int main(int argc, char** argv) {
   std::cout << "\n-- lower-bound shape (Thm 6.2): rounds vs n on planar "
                "members, eps = 0.25\n";
   Table t2({"n", "log2(n)", "rounds"});
-  for (int n : {250, 1000, 4000, 16000}) {
+  for (int n : smoke ? std::vector<int>{250, 1000, 4000}
+                     : std::vector<int>{250, 1000, 4000, 16000}) {
     const Graph g = random_maximal_planar(n, rng);
     const apps::PropertyTestResult res =
         apps::test_property(g, Family::kPlanar, 0.25);

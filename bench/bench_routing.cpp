@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     int vstar = 0;
     instances.push_back({"6-regular(" + std::to_string(nr) + ")", rr, vstar});
   }
+  cli.warn_unrecognized(std::cerr);
 
   Table t({"instance", "engine", "f", "delivered", "rounds",
            "schedule bits", "seed tries"});

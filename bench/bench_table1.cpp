@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int scale = static_cast<int>(cli.get_int("scale", 1));
   Rng rng(cli.get_int("seed", 1));
+  cli.warn_unrecognized(std::cerr);
 
   print_header("T1: Table 1",
                "construction & routing complexity across the four (Δ, ε) "

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(cli.get_int("n", 4000));
   Rng rng(cli.get_int("seed", 2));
   const Graph g = make_family(cli.get("family", "planar"), n, rng);
+  cli.warn_unrecognized(std::cerr);
 
   print_header("E-THM11: Theorem 1.1",
                "(eps, D, T)-decomposition: D = O(1/eps), both T variants");

@@ -1,0 +1,197 @@
+// Section-6 approximation applications — Corollaries 6.4 / 6.5.
+//
+// Every solver here is the same two-phase shape the paper's Theorem 1.2
+// applications share: build a Theorem 1.1 (ε*, D, T)-decomposition whose cut
+// budget ε* is scaled down so the additive ε*·m combination loss becomes a
+// multiplicative (1 ± ε), then solve every cluster *exactly* with the
+// centralized baselines (branch-and-bound MIS, blossom matching) — the
+// simulation stand-in for the paper's free local computation inside
+// O(1/ε)-diameter clusters — and repair the seams along cut edges.
+//
+// Guarantee bookkeeping (alpha = the minor-free density bound the caller
+// asserts for its family: m <= alpha * n; trees 1, outerplanar 2, planar 3):
+//   * MIS:      alpha(G) >= n / (2*alpha + 1) by degeneracy-greedy, and each
+//               cut edge costs at most one vertex of the per-cluster union,
+//               so eps* = eps / (alpha * (2*alpha + 1)) gives |I| >=
+//               (1 - eps) * OPT.
+//   * Matching: nu(G) >= m / (2*Delta - 1) (every matched edge blocks at
+//               most 2*Delta - 1 edges), and restricting an optimal matching
+//               to intra-cluster edges loses at most one edge per cut edge,
+//               so eps* = eps / (2*Delta + 1) gives |M| >= (1 - eps) * OPT.
+//   * VC:       per-cluster exact covers plus one endpoint per cut edge is a
+//               cover of size <= OPT + cut, and OPT >= nu(G), so the same
+//               eps* gives |C| <= (1 + eps) * OPT.
+//
+// Round accounting goes through congest::Runtime: the decomposition's phases
+// are absorbed verbatim, the per-cluster exact solve charges the 2D+1
+// gather/scatter a CONGEST cluster pays to act as one node, and the seam
+// repair charges one round (cut endpoints exchange one bit). On cycles the
+// whole bill is O(log* n + poly(1/eps)) — the Theorem 6.1 shape the
+// log*-flatness test pins.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "apps/blossom.hpp"
+#include "apps/exact.hpp"
+#include "congest/runtime.hpp"
+#include "decomp/edt.hpp"
+#include "graph/graph.hpp"
+#include "graph/ops.hpp"
+
+namespace mfd::apps {
+
+/// A vertex-set solution (approximate MIS or vertex cover) plus its round
+/// bill. vertices is sorted.
+struct SetSolution {
+  std::vector<int> vertices;
+  congest::SolverStats stats;
+};
+
+/// An approximate maximum matching as (u, v) edges with u < v.
+struct MatchingSolution {
+  std::vector<std::pair<int, int>> edges;
+  congest::SolverStats stats;
+};
+
+namespace detail {
+
+/// The decomposition every Section-6 solver programs against: Theorem 1.1 at
+/// the solver's ε*, clusters materialized, rounds absorbed into stats.
+struct AppDecomposition {
+  decomp::EdtDecomposition edt;
+  std::vector<std::vector<int>> members;
+};
+
+inline AppDecomposition decompose_for_app(const Graph& g, double eps_star,
+                                          congest::SolverStats& stats) {
+  AppDecomposition out;
+  out.edt = decomp::build_edt_decomposition(g, eps_star);
+  out.members.resize(out.edt.clustering.k);
+  for (int v = 0; v < g.n(); ++v) {
+    out.members[out.edt.clustering.cluster[v]].push_back(v);
+  }
+  stats.runtime.absorb(out.edt.ledger, "edt: ");
+  stats.T = out.edt.T_measured;
+  stats.clusters = out.edt.clustering.k;
+  // Acting as one node per cluster: gather the cluster topology to its
+  // center and scatter the local answer back, in parallel across clusters.
+  stats.runtime.charge("cluster solve (gather+scatter, 2D+1)",
+                       2 * out.edt.quality.max_diameter + 1);
+  return out;
+}
+
+/// Keep eps* off zero so degenerate inputs (isolated vertices, eps ~ 0)
+/// still terminate; smaller eps* only makes the decomposition finer.
+inline double clamp_eps_star(double eps_star) {
+  return std::max(eps_star, 1e-6);
+}
+
+}  // namespace detail
+
+/// Corollary 6.5: deterministic (1-eps)-approximate maximum independent set.
+/// alpha is the family's density bound (m <= alpha*n).
+inline SetSolution approx_max_independent_set(const Graph& g, double eps,
+                                              int alpha) {
+  SetSolution out;
+  const double a = std::max(alpha, 1);
+  const double eps_star =
+      detail::clamp_eps_star(eps / (a * (2.0 * a + 1.0)));
+  const detail::AppDecomposition dec =
+      detail::decompose_for_app(g, eps_star, out.stats);
+
+  std::vector<char> in_set(g.n(), 0);
+  for (const std::vector<int>& verts : dec.members) {
+    if (verts.empty()) continue;
+    const InducedSubgraph sub = induced_subgraph(g, verts);
+    const MisResult local = max_independent_set(sub.graph);
+    for (int i : local.set) in_set[sub.to_parent[i]] = 1;
+  }
+  // Seam repair: a cut edge with both endpoints chosen drops its larger
+  // endpoint — at most one loss per cut edge, which eps* budgeted for.
+  std::int64_t conflicts = 0;
+  for (int u = 0; u < g.n(); ++u) {
+    if (!in_set[u]) continue;
+    for (int v : g.neighbors(u)) {
+      if (u < v && in_set[v] &&
+          dec.edt.clustering.cluster[u] != dec.edt.clustering.cluster[v]) {
+        in_set[v] = 0;
+        ++conflicts;
+      }
+    }
+  }
+  out.stats.runtime.charge("seam repair (1 round)", 1, conflicts);
+  for (int v = 0; v < g.n(); ++v) {
+    if (in_set[v]) out.vertices.push_back(v);
+  }
+  out.stats.finish();
+  return out;
+}
+
+/// Corollary 6.4 (matching half): deterministic (1-eps)-approximate maximum
+/// matching via per-cluster blossom on the (ε*, D, T)-decomposition.
+inline MatchingSolution approx_max_matching(const Graph& g, double eps,
+                                            int alpha) {
+  (void)alpha;  // the matching bound is degree- not density-driven
+  MatchingSolution out;
+  const double eps_star =
+      detail::clamp_eps_star(eps / (2.0 * g.max_degree() + 1.0));
+  const detail::AppDecomposition dec =
+      detail::decompose_for_app(g, eps_star, out.stats);
+
+  for (const std::vector<int>& verts : dec.members) {
+    if (verts.size() < 2) continue;
+    const InducedSubgraph sub = induced_subgraph(g, verts);
+    for (const auto& [a, b] : max_matching_edges(sub.graph)) {
+      const int u = sub.to_parent[a], v = sub.to_parent[b];
+      out.edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  out.stats.finish();
+  return out;
+}
+
+/// Corollary 6.4 (cover half): deterministic (1+eps)-approximate minimum
+/// vertex cover — per-cluster exact covers plus one endpoint per cut edge.
+inline SetSolution approx_min_vertex_cover(const Graph& g, double eps,
+                                           int alpha) {
+  (void)alpha;
+  SetSolution out;
+  const double eps_star =
+      detail::clamp_eps_star(eps / (2.0 * g.max_degree() + 1.0));
+  const detail::AppDecomposition dec =
+      detail::decompose_for_app(g, eps_star, out.stats);
+
+  std::vector<char> in_cover(g.n(), 0);
+  for (const std::vector<int>& verts : dec.members) {
+    if (verts.empty()) continue;
+    const InducedSubgraph sub = induced_subgraph(g, verts);
+    const MisResult local = min_vertex_cover(sub.graph);
+    for (int i : local.set) in_cover[sub.to_parent[i]] = 1;
+  }
+  // Every cut edge must be covered too: take its smaller endpoint unless one
+  // endpoint is already in.
+  std::int64_t patched = 0;
+  for (int u = 0; u < g.n(); ++u) {
+    for (int v : g.neighbors(u)) {
+      if (u < v && !in_cover[u] && !in_cover[v] &&
+          dec.edt.clustering.cluster[u] != dec.edt.clustering.cluster[v]) {
+        in_cover[u] = 1;
+        ++patched;
+      }
+    }
+  }
+  out.stats.runtime.charge("seam repair (1 round)", 1, patched);
+  for (int v = 0; v < g.n(); ++v) {
+    if (in_cover[v]) out.vertices.push_back(v);
+  }
+  out.stats.finish();
+  return out;
+}
+
+}  // namespace mfd::apps

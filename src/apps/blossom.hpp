@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -125,6 +126,18 @@ class Blossom {
 
 inline Matching max_matching(const Graph& g) {
   return detail::Blossom(g).run();
+}
+
+/// A maximum matching as an explicit (u, v) edge list with u < v — the
+/// shape the approximation benches compare their per-cluster unions against.
+inline std::vector<std::pair<int, int>> max_matching_edges(const Graph& g) {
+  const Matching m = max_matching(g);
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<std::size_t>(m.size));
+  for (int v = 0; v < g.n(); ++v) {
+    if (m.match[v] > v) out.emplace_back(v, m.match[v]);
+  }
+  return out;
 }
 
 }  // namespace mfd::apps

@@ -1,0 +1,304 @@
+// Compact routing from the low-diameter decomposition — the [AGM05, AGMW07]
+// application the paper's introduction cites for (ε, O(1/ε)) decompositions
+// of minor-free graphs.
+//
+// Two-level scheme over an (ε, D, T)-decomposition, both levels using
+// interval tree routing (walk up until the target's DFS interval is below
+// you, then descend into the child interval containing it):
+//   * level 0 (intra-cluster): every cluster carries a BFS tree rooted at
+//     its center; a vertex stores its cluster id, parent port, its own DFS
+//     interval and one interval per tree child — O(log n) bits plus
+//     O(deg_tree log n), which averages O(log n) over the cluster.
+//   * level 1 (inter-cluster): the clusters of each component form a BFS
+//     spanning tree of the cluster graph; a cluster's *center* additionally
+//     stores the cluster-tree interval labels and one portal edge per
+//     tree-adjacent cluster — O(k log n) bits summed over ALL centers (not
+//     per center), which is the compact-table claim the bench audits.
+// A packet for v tree-routes to the portal of the next cluster on the
+// cluster-tree path, crosses it, and repeats; inside the final cluster it
+// tree-routes to v. Cost is at most 2D + 1 hops per cluster-tree hop — the
+// O(D)-per-hop stretch shape the bench measures.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "congest/runtime.hpp"
+#include "decomp/clustering.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mfd::apps {
+
+/// The assembled two-level scheme; table-bit accessors count what each
+/// vertex would actually store.
+struct RoutingScheme {
+  int n = 0, k = 0;
+  std::vector<int> cluster;            // cluster[v]
+  std::vector<int> center;             // center[c] = root vertex of cluster c
+  std::vector<int> up;                 // BFS-tree parent toward center (-1 at it)
+  std::vector<int> tin, tout;          // DFS interval of v on its cluster tree
+  std::vector<std::vector<int>> kids;  // tree children of v
+  // Level 1: BFS spanning forest of the cluster graph with DFS intervals,
+  // plus one portal edge per tree-adjacent cluster pair (both directions).
+  std::vector<int> cparent;            // cluster-tree parent (-1 at roots)
+  std::vector<int> ctin, ctout;        // cluster-tree DFS interval
+  std::vector<std::vector<int>> ckids; // cluster-tree children
+  std::map<std::pair<int, int>, std::pair<int, int>> portal;
+
+  /// Bits vertex v stores: cluster id + parent port + own interval + one
+  /// interval per tree child; centers add the cluster-tree labels and one
+  /// portal id per tree-adjacent cluster.
+  std::int64_t table_bits(int v) const {
+    const int logn = congest::ceil_log2(std::max(n, 2));
+    const int logk = congest::ceil_log2(std::max(k, 2));
+    std::int64_t bits = logk + logn + 2 * logn;  // id, port, interval
+    bits += static_cast<std::int64_t>(kids[v].size()) * 2 * logn;
+    const int c = cluster[v];
+    if (center[c] == v) {
+      bits += 2 * logk + logn;  // own cluster interval + parent portal
+      bits += static_cast<std::int64_t>(ckids[c].size()) * (2 * logk + logn);
+    }
+    return bits;
+  }
+
+  double avg_table_bits() const {
+    if (n == 0) return 0.0;
+    std::int64_t sum = 0;
+    for (int v = 0; v < n; ++v) sum += table_bits(v);
+    return static_cast<double>(sum) / n;
+  }
+
+  std::int64_t max_table_bits() const {
+    std::int64_t best = 0;
+    for (int v = 0; v < n; ++v) best = std::max(best, table_bits(v));
+    return best;
+  }
+};
+
+struct StretchStats {
+  double avg_stretch = 0.0;
+  double max_stretch = 0.0;
+  double delivered_fraction = 0.0;
+};
+
+namespace detail {
+
+/// Hops of the tree route src -> dst inside one cluster tree: climb while
+/// dst's interval is not below, then descend into the containing child.
+inline int tree_route_hops(const RoutingScheme& s, int src, int dst) {
+  int hops = 0, cur = src;
+  while (cur != dst) {
+    if (s.tin[cur] <= s.tin[dst] && s.tin[dst] <= s.tout[cur]) {
+      int next = -1;  // descend: the unique child interval containing dst
+      for (int ch : s.kids[cur]) {
+        if (s.tin[ch] <= s.tin[dst] && s.tin[dst] <= s.tout[ch]) {
+          next = ch;
+          break;
+        }
+      }
+      if (next < 0) return -1;  // corrupt labels; cannot happen on a tree
+      cur = next;
+    } else {
+      if (s.up[cur] < 0) return -1;
+      cur = s.up[cur];
+    }
+    ++hops;
+  }
+  return hops;
+}
+
+}  // namespace detail
+
+/// Build the two-level scheme over a (connected-cluster) decomposition.
+inline RoutingScheme build_routing_scheme(const Graph& g,
+                                          const decomp::Clustering& parts) {
+  RoutingScheme s;
+  s.n = g.n();
+  s.k = parts.k;
+  s.cluster = parts.cluster;
+  s.center.assign(s.k, -1);
+  s.up.assign(s.n, -1);
+  s.tin.assign(s.n, 0);
+  s.tout.assign(s.n, 0);
+  s.kids.assign(s.n, {});
+
+  // Centers (minimum-id member) and per-cluster BFS trees toward them.
+  for (int v = 0; v < s.n; ++v) {
+    if (s.center[s.cluster[v]] < 0) s.center[s.cluster[v]] = v;
+  }
+  std::vector<int> frontier, next;
+  std::vector<char> seen(s.n, 0);
+  for (int c = 0; c < s.k; ++c) {
+    const int root = s.center[c];
+    if (root < 0) continue;
+    seen[root] = 1;
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      next.clear();
+      for (int u : frontier) {
+        for (int w : g.neighbors(u)) {
+          if (!seen[w] && s.cluster[w] == c) {
+            seen[w] = 1;
+            s.up[w] = u;
+            s.kids[u].push_back(w);
+            next.push_back(w);
+          }
+        }
+      }
+      std::swap(frontier, next);
+    }
+  }
+  // DFS intervals per tree (one shared counter keeps labels globally unique).
+  {
+    int timer = 0;
+    std::vector<std::pair<int, std::size_t>> stack;  // (vertex, child slot)
+    for (int c = 0; c < s.k; ++c) {
+      if (s.center[c] < 0) continue;
+      stack.push_back({s.center[c], 0});
+      s.tin[s.center[c]] = timer++;
+      while (!stack.empty()) {
+        auto& [v, slot] = stack.back();
+        if (slot < s.kids[v].size()) {
+          const int ch = s.kids[v][slot++];
+          s.tin[ch] = timer++;
+          stack.push_back({ch, 0});
+        } else {
+          s.tout[v] = timer - 1;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Cluster graph: adjacency + the first-seen portal edge per cluster pair.
+  std::vector<std::vector<int>> cadj(s.k);
+  std::map<std::pair<int, int>, std::pair<int, int>> any_portal;
+  for (int u = 0; u < s.n; ++u) {
+    for (int w : g.neighbors(u)) {
+      const int a = s.cluster[u], b = s.cluster[w];
+      if (a == b) continue;
+      if (any_portal.emplace(std::make_pair(a, b), std::make_pair(u, w))
+              .second) {
+        cadj[a].push_back(b);
+      }
+    }
+  }
+  // BFS spanning forest of the cluster graph; keep portals only along tree
+  // edges (that is all the scheme ever crosses).
+  s.cparent.assign(s.k, -1);
+  s.ckids.assign(s.k, {});
+  s.ctin.assign(s.k, 0);
+  s.ctout.assign(s.k, 0);
+  std::vector<char> cseen(s.k, 0);
+  for (int root = 0; root < s.k; ++root) {
+    if (cseen[root]) continue;
+    cseen[root] = 1;
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      next.clear();
+      for (int c : frontier) {
+        for (int d : cadj[c]) {
+          if (cseen[d]) continue;
+          cseen[d] = 1;
+          s.cparent[d] = c;
+          s.ckids[c].push_back(d);
+          s.portal[{c, d}] = any_portal[{c, d}];
+          s.portal[{d, c}] = any_portal[{d, c}];
+          next.push_back(d);
+        }
+      }
+      std::swap(frontier, next);
+    }
+  }
+  {
+    int timer = 0;
+    std::vector<std::pair<int, std::size_t>> stack;
+    for (int root = 0; root < s.k; ++root) {
+      if (s.cparent[root] >= 0) continue;
+      stack.push_back({root, 0});
+      s.ctin[root] = timer++;
+      while (!stack.empty()) {
+        auto& [c, slot] = stack.back();
+        if (slot < s.ckids[c].size()) {
+          const int ch = s.ckids[c][slot++];
+          s.ctin[ch] = timer++;
+          stack.push_back({ch, 0});
+        } else {
+          s.ctout[c] = timer - 1;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+  return s;
+}
+
+/// Route u -> v through the scheme; returns hop count, or -1 if
+/// undeliverable (different components). Never inspects the graph beyond
+/// the tables.
+inline int route_hops(const RoutingScheme& s, int u, int v) {
+  int hops = 0, cur = u;
+  int guard = 8 * s.n + 8;  // defensive loop cap
+  while (s.cluster[cur] != s.cluster[v]) {
+    const int c = s.cluster[cur], tc = s.cluster[v];
+    // Cluster-tree step: descend toward tc's interval, else climb.
+    int d = -1;
+    if (s.ctin[c] <= s.ctin[tc] && s.ctin[tc] <= s.ctout[c]) {
+      for (int ch : s.ckids[c]) {
+        if (s.ctin[ch] <= s.ctin[tc] && s.ctin[tc] <= s.ctout[ch]) {
+          d = ch;
+          break;
+        }
+      }
+    } else {
+      d = s.cparent[c];
+    }
+    if (d < 0) return -1;  // different components
+    const auto it = s.portal.find({c, d});
+    if (it == s.portal.end()) return -1;
+    const int up_hops = detail::tree_route_hops(s, cur, it->second.first);
+    if (up_hops < 0) return -1;
+    hops += up_hops + 1;  // to the portal vertex, then across the edge
+    cur = it->second.second;
+    if ((guard -= up_hops + 1) < 0) return -1;
+  }
+  const int down = detail::tree_route_hops(s, cur, v);
+  return down < 0 ? -1 : hops + down;
+}
+
+/// Sample `pairs` connected (u, v) pairs and compare route length against
+/// BFS distance. Stretch of a pair = route hops / dist(u, v).
+inline StretchStats measure_stretch(const Graph& g, const RoutingScheme& s,
+                                    int pairs, Rng& rng) {
+  StretchStats st;
+  if (g.n() < 2 || pairs <= 0) return st;
+  int sampled = 0, delivered = 0;
+  double sum = 0.0;
+  for (int trial = 0; trial < 8 * pairs && sampled < pairs; ++trial) {
+    const int u = static_cast<int>(rng.next_below(g.n()));
+    const int v = static_cast<int>(rng.next_below(g.n()));
+    if (u == v) continue;
+    const std::vector<int> dist = bfs_distances(g, u);
+    if (dist[v] < 0) continue;  // different components: not a routing pair
+    ++sampled;
+    const int hops = route_hops(s, u, v);
+    if (hops < 0) continue;
+    ++delivered;
+    const double stretch =
+        static_cast<double>(hops) / static_cast<double>(dist[v]);
+    sum += stretch;
+    st.max_stretch = std::max(st.max_stretch, stretch);
+  }
+  st.delivered_fraction =
+      sampled == 0 ? 0.0
+                   : static_cast<double>(delivered) / static_cast<double>(sampled);
+  st.avg_stretch = delivered == 0 ? 0.0 : sum / delivered;
+  return st;
+}
+
+}  // namespace mfd::apps

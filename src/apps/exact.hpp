@@ -1,12 +1,15 @@
-// Exact maximum independent set — the centralized baseline the Theorem 1.2
-// MIS/approximation applications will be graded against (bench_mis,
-// bench_kernels). Branch and bound with the standard reductions: degree-0/1
-// vertices are always taken, components whose maximum degree is at most 2
-// (paths and cycles) are solved in closed form, and branching picks a
-// maximum-degree vertex (include N[v]-deleted vs exclude v-deleted).
-// Exponential worst case — intended for the small-n exact baselines only
-// (the benches stay at n <= a few hundred on sparse minor-free instances,
-// where the reductions keep the tree tiny).
+// Exact maximum independent set (and the exact covers derived from it) —
+// the centralized baselines the Section-6 approximation applications are
+// graded against (bench_mis, bench_matching_vc, bench_kernels), and the
+// per-cluster solver apps/approx.hpp runs inside decomposition clusters.
+// Branch and bound with the standard reductions: degree-0/1 vertices are
+// always taken, components whose maximum degree is at most 2 (cycles after
+// the reduction) are solved in closed form, and branching picks a
+// maximum-degree vertex (include N[v]-deleted vs exclude v-deleted). The
+// solver reconstructs an actual optimal set, not just its size.
+// Exponential worst case — intended for the small-n exact baselines and
+// decomposition clusters only (the benches stay at n <= a few hundred on
+// sparse minor-free instances, where the reductions keep the tree tiny).
 #pragma once
 
 #include <algorithm>
@@ -16,6 +19,12 @@
 
 namespace mfd::apps {
 
+/// An optimal independent set (max_independent_set) or vertex cover
+/// (min_vertex_cover), as a sorted vertex list.
+struct MisResult {
+  std::vector<int> set;
+};
+
 namespace detail {
 
 class MisSolver {
@@ -24,7 +33,12 @@ class MisSolver {
     for (int v = 0; v < g.n(); ++v) deg_[v] = g.degree(v);
   }
 
-  int solve() { return branch(); }
+  std::vector<int> solve() {
+    std::vector<int> chosen;
+    branch(chosen);
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+  }
 
  private:
   void remove(int v, std::vector<int>& removed) {
@@ -46,9 +60,9 @@ class MisSolver {
     }
   }
 
-  // Solve the remaining graph exactly. Mutates alive_/deg_ and restores
-  // them before returning.
-  int branch() {
+  // Solve the remaining graph exactly; appends an optimal set for it to
+  // `chosen`. Mutates alive_/deg_ and restores them before returning.
+  int branch(std::vector<int>& chosen) {
     std::vector<int> removed;
     int taken = 0;
     // Reduce: repeatedly take degree-0/1 vertices (always optimal).
@@ -58,6 +72,7 @@ class MisSolver {
       for (int v = 0; v < g_.n(); ++v) {
         if (!alive_[v] || deg_[v] > 1) continue;
         ++taken;
+        chosen.push_back(v);
         changed = true;
         if (deg_[v] == 1) {
           for (int w : g_.neighbors(v)) {
@@ -70,7 +85,7 @@ class MisSolver {
         remove(v, removed);
       }
     }
-    // Pick a branching vertex; paths/cycles (max degree <= 2) are exact.
+    // Pick a branching vertex; leftovers (max degree <= 2) are exact.
     int pivot = -1;
     for (int v = 0; v < g_.n(); ++v) {
       if (alive_[v] && deg_[v] >= 3 && (pivot < 0 || deg_[v] > deg_[pivot])) {
@@ -79,49 +94,85 @@ class MisSolver {
     }
     int best;
     if (pivot < 0) {
-      best = taken + paths_and_cycles();
+      best = taken + paths_and_cycles(chosen);
     } else {
       // Exclude pivot.
       const std::size_t mark = removed.size();
+      std::vector<int> without_set, with_set;
       remove(pivot, removed);
-      const int without = branch();
+      const int without = branch(without_set);
       restore(removed, mark);
       // Include pivot: drop its closed neighborhood.
       remove(pivot, removed);
       for (int w : g_.neighbors(pivot)) {
         if (alive_[w]) remove(w, removed);
       }
-      const int with = 1 + branch();
-      best = taken + std::max(without, with);
+      const int with = 1 + branch(with_set);
+      if (with >= without) {
+        chosen.push_back(pivot);
+        chosen.insert(chosen.end(), with_set.begin(), with_set.end());
+        best = taken + with;
+      } else {
+        chosen.insert(chosen.end(), without_set.begin(), without_set.end());
+        best = taken + without;
+      }
     }
     restore(removed, 0);
     return best;
   }
 
   // All remaining components have max degree <= 2: alpha(path_k) =
-  // ceil(k/2), alpha(cycle_k) = floor(k/2).
-  int paths_and_cycles() {
+  // ceil(k/2), alpha(cycle_k) = floor(k/2). Walk each component in path
+  // order and take every other vertex (odd cycles drop the last).
+  int paths_and_cycles(std::vector<int>& chosen) {
     int total = 0;
     std::vector<char> seen(g_.n(), 0);
     for (int s = 0; s < g_.n(); ++s) {
       if (!alive_[s] || seen[s]) continue;
-      int size = 0;
+      // Find an endpoint if the component is a path; else it is a cycle.
+      int start = s;
       bool is_cycle = true;
-      std::vector<int> stack = {s};
-      seen[s] = 1;
-      while (!stack.empty()) {
-        const int v = stack.back();
-        stack.pop_back();
-        ++size;
-        if (deg_[v] < 2) is_cycle = false;
-        for (int w : g_.neighbors(v)) {
-          if (alive_[w] && !seen[w]) {
-            seen[w] = 1;
-            stack.push_back(w);
+      {
+        std::vector<int> stack = {s};
+        std::vector<int> comp;
+        seen[s] = 1;
+        while (!stack.empty()) {
+          const int v = stack.back();
+          stack.pop_back();
+          comp.push_back(v);
+          if (deg_[v] < 2) {
+            is_cycle = false;
+            start = v;
+          }
+          for (int w : g_.neighbors(v)) {
+            if (alive_[w] && !seen[w]) {
+              seen[w] = 1;
+              stack.push_back(w);
+            }
           }
         }
       }
-      total += is_cycle ? size / 2 : (size + 1) / 2;
+      // Ordered walk from `start` (an endpoint for paths, arbitrary for
+      // cycles); take even positions, skipping an odd cycle's last slot.
+      std::vector<int> order;
+      int prev = -1, cur = start;
+      for (;;) {
+        order.push_back(cur);
+        int nxt = -1;
+        for (int w : g_.neighbors(cur)) {
+          if (alive_[w] && w != prev && (w != start || order.size() <= 1)) {
+            nxt = w;
+            break;
+          }
+        }
+        prev = cur;
+        if (nxt < 0 || nxt == start) break;
+        cur = nxt;
+      }
+      const int size = static_cast<int>(order.size());
+      const int take = is_cycle ? size / 2 : (size + 1) / 2;
+      for (int i = 0; i < take; ++i) chosen.push_back(order[2 * i]);
+      total += take;
     }
     return total;
   }
@@ -133,10 +184,25 @@ class MisSolver {
 
 }  // namespace detail
 
-/// Size of a maximum independent set of g. Exponential worst case; intended
-/// for the exact small-instance baselines.
-inline int max_independent_set(const Graph& g) {
-  return detail::MisSolver(g).solve();
+/// A maximum independent set of g (the actual set, sorted). Exponential
+/// worst case; intended for the exact small-instance baselines and
+/// decomposition clusters.
+inline MisResult max_independent_set(const Graph& g) {
+  return {detail::MisSolver(g).solve()};
+}
+
+/// A minimum vertex cover of g: the complement of a maximum independent set
+/// (König-free exactness — valid on every graph since V \ I covers all
+/// edges and |V| - alpha(G) is optimal).
+inline MisResult min_vertex_cover(const Graph& g) {
+  const MisResult mis = max_independent_set(g);
+  std::vector<char> in_set(g.n(), 0);
+  for (int v : mis.set) in_set[v] = 1;
+  MisResult out;
+  for (int v = 0; v < g.n(); ++v) {
+    if (!in_set[v]) out.set.push_back(v);
+  }
+  return out;
 }
 
 }  // namespace mfd::apps

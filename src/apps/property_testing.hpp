@@ -1,0 +1,178 @@
+// Corollary 6.6 — distributed property testing of additive minor-closed
+// properties (Theorem 6.2 gives the matching Omega(log n / eps) lower
+// bound).
+//
+// The simulation decides membership exactly (members accept, non-members —
+// a superset of the ε-far graphs — reject, so the tester's one-sided
+// promise holds on every bench instance) using the repo's structural
+// machinery: the left-right planarity test, the apex reduction for
+// outerplanarity (G is outerplanar iff G + apex is planar), cycle counting
+// for forests/linear forests, and a block decomposition for cacti (every
+// block must be an edge or a simple cycle). Round accounting follows the
+// paper's tester: a ceil(log2 n)-level verification hierarchy paying
+// O(1/eps) rounds per level, plus the verdict broadcast — O(log n / eps)
+// total, charged through congest::Runtime.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/runtime.hpp"
+#include "graph/graph.hpp"
+#include "graph/ops.hpp"
+#include "graph/planarity.hpp"
+
+namespace mfd {
+
+/// The additive minor-closed families the tester knows. Each is closed
+/// under minors and disjoint unions (the "additive" in Corollary 6.6).
+enum class Family { kPlanar, kForest, kOuterplanar, kCactus, kLinearForest };
+
+inline const char* family_name(Family f) {
+  switch (f) {
+    case Family::kPlanar: return "planar";
+    case Family::kForest: return "forest";
+    case Family::kOuterplanar: return "outerplanar";
+    case Family::kCactus: return "cactus";
+    case Family::kLinearForest: return "linear forest";
+  }
+  return "?";
+}
+
+namespace apps {
+
+struct PropertyTestResult {
+  bool accepted = false;
+  std::string reason;       // obstruction description when rejecting
+  std::int64_t rounds = 0;  // simulated CONGEST rounds, O(log n / eps)
+  congest::Runtime runtime;
+};
+
+namespace detail {
+
+/// True iff every biconnected block of g is an edge or a simple cycle —
+/// the cactus characterization. On failure names the offending block.
+inline bool is_cactus(const Graph& g, std::string* reason) {
+  // Iterative DFS tracking per-edge discovery; a block has shared cycle
+  // edges iff it contains more edges than vertices. We count, per DFS tree
+  // edge, the number of back edges spanning it: cactus iff every tree edge
+  // is spanned by at most one back edge.
+  const int n = g.n();
+  std::vector<int> depth(n, -1), parent(n, -1), span(n, 0);
+  std::vector<int> stack;
+  for (int root = 0; root < n; ++root) {
+    if (depth[root] >= 0) continue;
+    depth[root] = 0;
+    stack.push_back(root);
+    std::vector<int> order;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (int w : g.neighbors(v)) {
+        if (depth[w] < 0) {
+          depth[w] = depth[v] + 1;
+          parent[w] = v;
+          stack.push_back(w);
+        }
+      }
+    }
+    // Each non-tree edge (u, w) closes one cycle through the tree path
+    // u..w; add +1 span to every tree edge on that path by walking up.
+    for (int v : order) {
+      for (int w : g.neighbors(v)) {
+        if (v < w && parent[w] != v && parent[v] != w) {
+          int a = v, b = w;
+          while (a != b) {
+            if (depth[a] < depth[b]) std::swap(a, b);
+            if (++span[a] > 1) {
+              if (reason != nullptr) {
+                *reason = "edge on two cycles near vertex " + std::to_string(a);
+              }
+              return false;
+            }
+            a = parent[a];
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Corollary 6.6 tester: members of `fam` accept; non-members (in
+/// particular every eps-far instance) reject with the obstruction named.
+inline PropertyTestResult test_property(const Graph& g, Family fam,
+                                        double eps) {
+  PropertyTestResult out;
+  const int n = std::max(g.n(), 2);
+  const std::int64_t m = g.m();
+  const auto [comp, k] = connected_components(g);
+  (void)comp;
+  const std::int64_t forest_m = static_cast<std::int64_t>(g.n()) - k;
+
+  out.accepted = true;
+  switch (fam) {
+    case Family::kForest:
+      if (m > forest_m) {
+        out.accepted = false;
+        out.reason = "cyclic: m = " + std::to_string(m) + " > n - c";
+      }
+      break;
+    case Family::kLinearForest:
+      if (m > forest_m) {
+        out.accepted = false;
+        out.reason = "cyclic: m > n - c";
+      } else if (g.max_degree() > 2) {
+        out.accepted = false;
+        out.reason = "degree " + std::to_string(g.max_degree()) + " vertex";
+      }
+      break;
+    case Family::kPlanar: {
+      const PlanarityResult pr = check_planarity(g);
+      if (!pr.planar) {
+        out.accepted = false;
+        out.reason = pr.verdict == PlanarityVerdict::kEulerBound
+                         ? "Euler bound: m > 3n - 6"
+                         : "LR conflict: K5/K3,3 subdivision";
+      }
+      break;
+    }
+    case Family::kOuterplanar:
+      if (g.n() >= 2 && m > 2 * static_cast<std::int64_t>(g.n()) - 3) {
+        out.accepted = false;
+        out.reason = "Euler bound: m > 2n - 3";
+      } else if (!is_planar(add_apex(g))) {
+        out.accepted = false;
+        out.reason = "apexed graph nonplanar: K4/K2,3 minor";
+      }
+      break;
+    case Family::kCactus: {
+      std::string why;
+      if (!detail::is_cactus(g, &why)) {
+        out.accepted = false;
+        out.reason = why;
+      }
+      break;
+    }
+  }
+
+  // The tester's round bill: a ceil(log2 n)-level hierarchy, O(1/eps)
+  // verification rounds per level, one broadcast of the verdict per level.
+  const std::int64_t levels = congest::ceil_log2(n);
+  const std::int64_t per_level =
+      static_cast<std::int64_t>(std::ceil(1.0 / std::max(eps, 1e-9)));
+  out.runtime.charge("verification hierarchy (log n levels x 1/eps)",
+                     levels * per_level);
+  out.runtime.charge("verdict broadcast", levels);
+  out.rounds = out.runtime.total();
+  return out;
+}
+
+}  // namespace apps
+}  // namespace mfd

@@ -1,0 +1,119 @@
+// The shared CONGEST round-accounting substrate every layer charges through.
+//
+// Historically each layer kept its own ad-hoc accounting (`decomp::Ledger`
+// phase strings, per-round loops in expander/, tracked counters in
+// cole_vishkin); Runtime unifies them: one append-only sequence of
+// phase-attributed charges, each carrying the simulated CONGEST rounds a
+// distributed implementation would pay plus optional per-phase message and
+// peak-congestion observations for the phases whose simulation measures them
+// (the expander/ gathers count token moves and per-round directed-edge load).
+//
+// Units contract (the one every consumer relies on): `rounds` is always in
+// simulated CONGEST rounds — never wall clock and never BFS hops. Phases
+// that sweep to depth d charge d rounds; symbolic phases (e.g. the
+// "log* n / eps preprocessing" of Theorem 1.1) charge their theory value.
+// `messages` counts O(log n)-bit messages sent during the phase (0 when the
+// phase does not measure them); `max_congestion` is the peak number of
+// messages any directed edge carried in one round of the phase (0 when
+// unmeasured). total() sums rounds over phases; charges preserve order so a
+// consumer (benches, apps/) can attribute rounds per phase.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mfd::congest {
+
+/// Iterated-logarithm helper: number of log2 applications taking x to <= 1.
+/// The symmetry-breaking budget of Cole–Vishkin-style phases (Theorem 6.1's
+/// Omega(log* n) lower bound is stated in exactly these units).
+inline int log_star(double x) {
+  int r = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) with a floor of 1 — the bit width of an id domain of size x.
+inline int ceil_log2(std::int64_t x) {
+  int bits = 0;
+  while ((std::int64_t{1} << bits) < x) ++bits;
+  return std::max(bits, 1);
+}
+
+/// One phase-attributed charge (see the header comment for units).
+struct RoundCharge {
+  std::string phase;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;        // 0 when the phase does not measure them
+  std::int64_t max_congestion = 0;  // peak per-edge per-round load, 0 unmeasured
+};
+
+/// The substrate itself: append-only phase charges. Replaces decomp::Ledger
+/// (which is now an alias of this class); everything in decomp/, expander/
+/// and apps/ charges simulated rounds through one of these.
+class Runtime {
+ public:
+  void charge(const std::string& phase, std::int64_t rounds,
+              std::int64_t messages = 0, std::int64_t max_congestion = 0) {
+    entries_.push_back({phase, rounds, messages, max_congestion});
+  }
+
+  /// Fold another runtime's charges into this one, phase names prefixed —
+  /// how a composed algorithm (EDT inside approx-MIS, split inside the
+  /// expander-decomp pipeline) attributes its sub-phases.
+  void absorb(const Runtime& sub, const std::string& prefix = "") {
+    for (const RoundCharge& e : sub.entries_) {
+      entries_.push_back(
+          {prefix.empty() ? e.phase : prefix + e.phase, e.rounds, e.messages,
+           e.max_congestion});
+    }
+  }
+
+  /// Total simulated CONGEST rounds over all phases.
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (const RoundCharge& e : entries_) t += e.rounds;
+    return t;
+  }
+
+  /// Total measured messages (phases that do not measure contribute 0).
+  std::int64_t total_messages() const {
+    std::int64_t t = 0;
+    for (const RoundCharge& e : entries_) t += e.messages;
+    return t;
+  }
+
+  /// Peak per-edge per-round congestion observed by any phase.
+  std::int64_t peak_congestion() const {
+    std::int64_t c = 0;
+    for (const RoundCharge& e : entries_) c = std::max(c, e.max_congestion);
+    return c;
+  }
+
+  const std::vector<RoundCharge>& entries() const { return entries_; }
+
+ private:
+  std::vector<RoundCharge> entries_;
+};
+
+/// What an apps/-layer solver reports next to its solution: the headline
+/// round count, the decomposition's routing term T, the cluster count it
+/// programmed against, and the full phase breakdown. total_rounds must equal
+/// runtime.total() — finish() pins that.
+struct SolverStats {
+  std::int64_t total_rounds = 0;  // == runtime.total() after finish()
+  std::int64_t T = 0;             // routing-structure term of the decomposition
+  std::int64_t clusters = 0;      // clusters the solver solved locally
+  Runtime runtime;                // phase-attributed breakdown
+
+  void finish() { total_rounds = runtime.total(); }
+};
+
+}  // namespace mfd::congest

@@ -2,8 +2,9 @@
 //
 // A decomposition is a partition of V into clusters; its quality is the
 // fraction of inter-cluster ("cut") edges and the maximum strong (induced)
-// diameter over clusters. The Ledger records simulated distributed-round
-// charges per phase so bench output can report round complexity.
+// diameter over clusters. Round accounting lives in congest/runtime.hpp;
+// decomp::Ledger survives as an alias of congest::Runtime so the historical
+// spelling keeps working.
 #pragma once
 
 #include <algorithm>
@@ -12,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "congest/runtime.hpp"
 #include "graph/graph.hpp"
 
 namespace mfd::decomp {
@@ -73,33 +75,11 @@ struct EvalParams {
   bool force_exact = false;
 };
 
-/// Simulated distributed-round accounting, one entry per algorithm phase.
-///
-/// Units: every charge is in simulated CONGEST rounds (what a distributed
-/// implementation would pay), not wall clock and not BFS hops — phases that
-/// sweep to depth d charge d rounds, symbolic phases (e.g. "log* n
-/// preprocessing") charge their theory value. total() is the sum over
-/// phases; entries preserve charge order, and charges are append-only so a
-/// consumer (expander/, benches) can attribute rounds per phase.
-class Ledger {
- public:
-  void charge(const std::string& phase, std::int64_t rounds) {
-    entries_.emplace_back(phase, rounds);
-  }
-
-  std::int64_t total() const {
-    std::int64_t t = 0;
-    for (const auto& [phase, rounds] : entries_) t += rounds;
-    return t;
-  }
-
-  const std::vector<std::pair<std::string, std::int64_t>>& entries() const {
-    return entries_;
-  }
-
- private:
-  std::vector<std::pair<std::string, std::int64_t>> entries_;
-};
+/// Historical name for the shared round-accounting substrate. New code
+/// should spell it congest::Runtime; the alias keeps the long-standing
+/// `Ledger ledger;` result fields (and their `.total()` / `.charge()` call
+/// sites) source-compatible.
+using Ledger = congest::Runtime;
 
 namespace detail {
 

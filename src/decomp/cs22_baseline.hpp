@@ -43,7 +43,7 @@ struct Cs22Params {
 struct Cs22Result {
   Clustering clustering;
   Quality quality;
-  Ledger ledger;
+  congest::Runtime ledger;
   int T_measured = 0;   // expander-routing time: max ceil(log2 vol / phi)
   double phi_target = 0.0;
   double phi_certified = 1.0;  // weakest per-cluster certificate

@@ -75,20 +75,14 @@ struct EdtParams {
 struct EdtDecomposition {
   Clustering clustering;
   Quality quality;
-  Ledger ledger;
+  congest::Runtime ledger;  // phase-attributed simulated CONGEST rounds
   int T_measured = 0;  // measured routing time (rounds) of the chosen variant
   int iterations = 0;  // chop passes (kGlobalBfs) or contraction iterations
   int merges = 0;      // light-link merges (kGlobalBfs) or star merges (local)
 };
 
-inline int log_star(double x) {
-  int r = 0;
-  while (x > 1.0) {
-    x = std::log2(x);
-    ++r;
-  }
-  return r;
-}
+/// Historical spelling: the log* helper now lives with the runtime substrate.
+using congest::log_star;
 
 namespace detail {
 
@@ -128,9 +122,7 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     lp.ecc_cap = 2 * w;
     lp.eval.exact_cap = params.exact_diameter_cap;
     LocalLdd local = ldd_minor_free_local(g, eps, lp);
-    for (const auto& [phase, rounds] : local.ledger.entries()) {
-      out.ledger.charge(phase, rounds);
-    }
+    out.ledger.absorb(local.ledger);
     out.clustering = std::move(local.clustering);
     out.quality = local.quality;
     out.iterations = local.iterations;

@@ -44,7 +44,7 @@ struct ExpanderDecomp {
   Clustering clustering;
   double phi_target = 0.0;        // Ω(eps / (log 1/eps + log Δ))
   double min_certified_phi = 1.0; // min per-cluster certificate
-  Ledger ledger;
+  congest::Runtime ledger;        // phase-attributed simulated CONGEST rounds
   int clusters_split = 0;         // EDT clusters the split stage had to cut
 };
 
@@ -63,9 +63,7 @@ inline ExpanderDecomp expander_decomposition_minor_free(
   ep.exact_diameter_cap = params.edt_exact_diameter_cap;
   EdtDecomposition edt =
       build_edt_decomposition(g, eps * params.edt_eps_share, ep);
-  for (const auto& [phase, rounds] : edt.ledger.entries()) {
-    out.ledger.charge("edt: " + phase, rounds);
-  }
+  out.ledger.absorb(edt.ledger, "edt: ");
 
   // Split every EDT cluster at phi_target; parts become final clusters.
   std::vector<std::vector<int>> members(edt.clustering.k);

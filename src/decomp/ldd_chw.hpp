@@ -29,7 +29,7 @@ namespace mfd::decomp {
 struct ChwLdd {
   Clustering clustering;
   Quality quality;
-  Ledger ledger;
+  congest::Runtime ledger;
   int max_radius = 0;  // deepest ball radius, BFS hops
 };
 

@@ -48,7 +48,7 @@ struct LocalLddParams {
 struct LocalLdd {
   Clustering clustering;
   ClusterQuality quality;
-  Ledger ledger;
+  congest::Runtime ledger;
   int iterations = 0;       // heavy-stars contraction iterations run
   int merges = 0;           // accepted cluster merges (marked-tree edges)
   int cv_rounds_total = 0;  // Cole–Vishkin rounds summed over iterations

@@ -28,7 +28,7 @@ namespace mfd::decomp {
 struct MpxLdd {
   Clustering clustering;
   Quality quality;
-  Ledger ledger;
+  congest::Runtime ledger;
   int rounds = 0;  // simulated CONGEST rounds: max shift + deepest BFS arm
 };
 

@@ -48,7 +48,7 @@ struct OverlapDecompResult {
   OverlapClustering oc;
   int iterations = 0;      // levels actually built
   double phi_target = 0.0; // the level-0 conductance target
-  Ledger ledger;
+  congest::Runtime ledger; // phase-attributed simulated CONGEST rounds
   std::int64_t uncovered_edges = 0;
 };
 

@@ -17,7 +17,14 @@
 // formula: every walk round costs the worst per-edge congestion of that round
 // (edges carry one token per direction per round, extra tokens queue), so
 // rounds = sum over rounds of max(1, max directed-edge load). The split
-// between ideal walk rounds and queueing surplus is recorded in the Ledger.
+// between ideal walk rounds and queueing surplus is recorded through the
+// congest::Runtime substrate, along with the measured message count (edge
+// traversals) and peak per-edge congestion.
+//
+// The default inner loop is the batched per-round engine (walks bucketed by
+// current vertex, one adjacency-row touch per occupied vertex per round);
+// RwSimEngine::kSerial keeps the original token-serial loop as the reference
+// the equivalence test compares against — both are bit-identical in outcome.
 #pragma once
 
 #include <algorithm>
@@ -30,6 +37,14 @@
 
 namespace mfd::expander {
 
+/// Which inner-loop the walk simulation runs. Both are bit-identical in
+/// outcome (same per-walk counter hash, same congestion accounting — the
+/// equivalence test pins this); kBatched groups the walks by current vertex
+/// so each round touches every adjacency row once instead of once per walk,
+/// which is what lets the simulation scale past the token-serial regime the
+/// ROADMAP flagged. kSerial is kept as the reference implementation.
+enum class RwSimEngine { kBatched, kSerial };
+
 struct RwParams {
   double laziness = 0.5;   // stay-put probability per round
   std::int64_t step_budget = 20'000'000;   // walk-steps per simulated seed
@@ -38,6 +53,7 @@ struct RwParams {
   int max_seed_tries = 64;
   double phi_floor = 0.02;  // clamp for the certificate in the length formula
   std::uint64_t base_seed = 0x243F6A8885A308D3ULL;  // published search origin
+  RwSimEngine sim_engine = RwSimEngine::kBatched;
 };
 
 struct RwSchedule {
@@ -60,7 +76,7 @@ struct RwResult {
   // Per-walk final position as a *graph vertex id* (v_star when delivered).
   std::vector<int> route;
   int walk_length = 0;     // rounds of walking simulated for the chosen seed
-  decomp::Ledger ledger;
+  congest::Runtime ledger;
 };
 
 namespace detail {
@@ -135,34 +151,61 @@ struct SimOutcome {
   std::int64_t rounds = 0;
   std::int64_t walk_rounds = 0;
   std::int64_t steps = 0;
+  std::int64_t moves = 0;      // edge traversals (messages actually sent)
+  std::int64_t peak_load = 0;  // worst per-edge per-round congestion seen
   std::vector<int> route;
 };
 
-/// Run every walk for up to `T` rounds under seed `seed`, counting per-round
-/// directed-edge congestion. Stops early once the target fraction is in.
-inline SimOutcome simulate(const Arena& a, std::uint64_t seed, int T,
-                           double laziness, double target_fraction) {
+/// Shared fixed-point bookkeeping of both simulation engines: the walk-count
+/// delivery target, scaled when the population was subsampled.
+struct SimTargets {
+  double walk_target_scaled = 0.0;
+  double scale = 1.0;
+
+  SimTargets(const Arena& a, double target_fraction) {
+    const std::int64_t walks = static_cast<std::int64_t>(a.start.size());
+    const double walk_target =
+        target_fraction * static_cast<double>(a.population) -
+        static_cast<double>(a.predelivered);
+    if (a.population - a.predelivered != 0) {
+      scale = static_cast<double>(walks) /
+              static_cast<double>(a.population - a.predelivered);
+    }
+    walk_target_scaled = walk_target * scale;
+  }
+
+  void finish(const Arena& a, std::int64_t delivered_walks,
+              SimOutcome& out) const {
+    const double delivered_tokens =
+        static_cast<double>(a.predelivered) +
+        (scale == 0.0 ? 0.0 : static_cast<double>(delivered_walks) / scale);
+    out.delivered_fraction =
+        a.population == 0
+            ? 1.0
+            : std::min(1.0,
+                       delivered_tokens / static_cast<double>(a.population));
+  }
+};
+
+/// Reference engine: run every walk for up to `T` rounds under seed `seed`,
+/// one walk at a time, counting per-round directed-edge congestion. Stops
+/// early once the target fraction is in.
+inline SimOutcome simulate_serial(const Arena& a, std::uint64_t seed, int T,
+                                  double laziness, double target_fraction) {
   SimOutcome out;
-  const std::int64_t walks = static_cast<std::int64_t>(a.start.size());
   std::vector<int> pos(a.start);
   std::vector<char> active(a.start.size(), 1);
   out.route.assign(a.start.size(), -1);
   std::int64_t delivered_walks = 0;
-  const double walk_target =
-      target_fraction * static_cast<double>(a.population) -
-      static_cast<double>(a.predelivered);
-  // Scale the walk-count target when the population was subsampled.
-  const double scale =
-      a.population - a.predelivered == 0
-          ? 1.0
-          : static_cast<double>(walks) /
-                static_cast<double>(a.population - a.predelivered);
+  const SimTargets targets(a, target_fraction);
   const auto lazy_cut =
       static_cast<std::uint32_t>(laziness * 4294967296.0);
   std::vector<int> slot_load(a.slots, 0);
   std::vector<int> touched;
   for (int t = 1; t <= T; ++t) {
-    if (static_cast<double>(delivered_walks) >= walk_target * scale) break;
+    if (static_cast<double>(delivered_walks) >= targets.walk_target_scaled) {
+      break;
+    }
     int max_load = 0;
     bool any_active = false;
     for (std::size_t w = 0; w < pos.size(); ++w) {
@@ -178,6 +221,7 @@ inline SimOutcome simulate(const Arena& a, std::uint64_t seed, int T,
       const int s = a.slot[u][j];
       if (slot_load[s]++ == 0) touched.push_back(s);
       max_load = std::max(max_load, slot_load[s]);
+      ++out.moves;
       pos[w] = a.nbr[u][j];
       if (pos[w] == a.star) {
         active[w] = 0;
@@ -188,20 +232,95 @@ inline SimOutcome simulate(const Arena& a, std::uint64_t seed, int T,
     if (!any_active) break;
     ++out.walk_rounds;
     out.rounds += std::max(1, max_load);
+    out.peak_load = std::max<std::int64_t>(out.peak_load, max_load);
     for (int s : touched) slot_load[s] = 0;
     touched.clear();
   }
   for (std::size_t w = 0; w < pos.size(); ++w) {
     if (out.route[w] < 0) out.route[w] = pos[w];
   }
-  const double delivered_tokens =
-      static_cast<double>(a.predelivered) +
-      (scale == 0.0 ? 0.0 : static_cast<double>(delivered_walks) / scale);
-  out.delivered_fraction =
-      a.population == 0
-          ? 1.0
-          : std::min(1.0, delivered_tokens / static_cast<double>(a.population));
+  targets.finish(a, delivered_walks, out);
   return out;
+}
+
+/// Batched engine: walks are bucketed by current vertex, so each round
+/// touches every occupied adjacency row once (and in vertex order) instead
+/// of hopping rows once per walk. Every per-walk effect — the counter hash
+/// rw_mix(seed, w, t), the slot congestion counts, delivery — is identical
+/// to the serial engine, so the two produce bit-equal SimOutcomes; only the
+/// memory access pattern changes.
+inline SimOutcome simulate_batched(const Arena& a, std::uint64_t seed, int T,
+                                   double laziness, double target_fraction) {
+  SimOutcome out;
+  const int k = static_cast<int>(a.nbr.size());
+  std::vector<int> pos(a.start);
+  out.route.assign(a.start.size(), -1);
+  std::int64_t delivered_walks = 0;
+  const SimTargets targets(a, target_fraction);
+  const auto lazy_cut =
+      static_cast<std::uint32_t>(laziness * 4294967296.0);
+  std::vector<std::vector<int>> bucket(k), next_bucket(k);
+  for (std::size_t w = 0; w < a.start.size(); ++w) {
+    bucket[a.start[w]].push_back(static_cast<int>(w));
+  }
+  std::vector<int> slot_load(a.slots, 0);
+  std::vector<int> touched;
+  for (int t = 1; t <= T; ++t) {
+    if (static_cast<double>(delivered_walks) >= targets.walk_target_scaled) {
+      break;
+    }
+    int max_load = 0;
+    bool any_active = false;
+    for (int u = 0; u < k; ++u) {
+      if (bucket[u].empty()) continue;
+      any_active = true;
+      const int deg = static_cast<int>(a.nbr[u].size());
+      const int* nbrs = a.nbr[u].data();
+      const int* slots = a.slot[u].data();
+      for (int w : bucket[u]) {
+        ++out.steps;
+        const std::uint64_t z = rw_mix(seed, w, static_cast<std::uint64_t>(t));
+        if (static_cast<std::uint32_t>(z >> 32) < lazy_cut || deg == 0) {
+          next_bucket[u].push_back(w);  // lazy stay (or stranded walk)
+          continue;
+        }
+        const int j = static_cast<int>((z & 0xffffffffULL) % deg);
+        const int s = slots[j];
+        if (slot_load[s]++ == 0) touched.push_back(s);
+        max_load = std::max(max_load, slot_load[s]);
+        ++out.moves;
+        const int v = nbrs[j];
+        pos[w] = v;
+        if (v == a.star) {
+          out.route[w] = a.star;
+          ++delivered_walks;
+        } else {
+          next_bucket[v].push_back(w);
+        }
+      }
+      bucket[u].clear();
+    }
+    if (!any_active) break;
+    ++out.walk_rounds;
+    out.rounds += std::max(1, max_load);
+    out.peak_load = std::max<std::int64_t>(out.peak_load, max_load);
+    for (int s : touched) slot_load[s] = 0;
+    touched.clear();
+    bucket.swap(next_bucket);
+  }
+  for (std::size_t w = 0; w < pos.size(); ++w) {
+    if (out.route[w] < 0) out.route[w] = pos[w];
+  }
+  targets.finish(a, delivered_walks, out);
+  return out;
+}
+
+inline SimOutcome simulate(const Arena& a, std::uint64_t seed, int T,
+                           double laziness, double target_fraction,
+                           RwSimEngine engine = RwSimEngine::kBatched) {
+  return engine == RwSimEngine::kSerial
+             ? simulate_serial(a, seed, T, laziness, target_fraction)
+             : simulate_batched(a, seed, T, laziness, target_fraction);
 }
 
 inline int walk_length(const Arena& a, double phi, double f,
@@ -244,7 +363,7 @@ inline RwResult gather_random_walks(const ExpanderSplit& sp, int v_star,
   for (int attempt = 1; attempt <= p.max_seed_tries; ++attempt) {
     const std::uint64_t seed = detail::rw_mix(p.base_seed, attempt, 0);
     const detail::SimOutcome sim =
-        detail::simulate(arena, seed, T, p.laziness, 1.0 - f);
+        detail::simulate(arena, seed, T, p.laziness, 1.0 - f, p.sim_engine);
     steps_spent += sim.steps;
     out.schedule.seed_tries = attempt;
     if (sim.delivered_fraction > best.delivered_fraction ||
@@ -268,7 +387,7 @@ inline RwResult gather_random_walks(const ExpanderSplit& sp, int v_star,
   out.route = std::move(best.route);
   for (int& r : out.route) r = arena.parent[r];  // local ids -> vertex ids
   out.walk_length = best_T;
-  out.ledger.charge("walk rounds", best.walk_rounds);
+  out.ledger.charge("walk rounds", best.walk_rounds, best.moves, best.peak_load);
   out.ledger.charge("congestion surplus", best.rounds - best.walk_rounds);
   return out;
 }
@@ -305,7 +424,7 @@ inline std::vector<RwResult> gather_random_walks_shared(
     double min_fraction = 1.0;
     for (std::size_t i = 0; i < sps.size(); ++i) {
       sims[i] = detail::simulate(arenas[i], seed, lengths[i], p.laziness,
-                                 1.0 - f);
+                                 1.0 - f, p.sim_engine);
       steps_spent += sims[i].steps;
       min_fraction = std::min(min_fraction, sims[i].delivered_fraction);
     }
@@ -329,7 +448,8 @@ inline std::vector<RwResult> gather_random_walks_shared(
     r.schedule.seed_tries = tries;
     r.schedule.walks = static_cast<int>(arenas[i].start.size());
     r.schedule.domain_bits = detail::ceil_log2(sps[i]->g.n());
-    r.ledger.charge("walk rounds", best[i].walk_rounds);
+    r.ledger.charge("walk rounds", best[i].walk_rounds, best[i].moves,
+                    best[i].peak_load);
     r.ledger.charge("congestion surplus", best[i].rounds - best[i].walk_rounds);
   }
   return results;

@@ -43,7 +43,7 @@ struct ExpanderSplit {
   std::vector<double> phi_cert;            // certified sweep sparsity of part p
   std::vector<std::int64_t> part_volume;   // 2 * (edges induced by part p)
   std::vector<int> ideg;                   // degree of v inside its own part
-  decomp::Ledger ledger;                   // simulated construction rounds
+  congest::Runtime ledger;                 // simulated construction rounds
   SplitParams params;
 
   int part_of(int v) const { return parts.cluster[v]; }

@@ -164,6 +164,16 @@ struct PhiCertificate {
   bool exact = false; // true when phi is the exact minimum conductance
 };
 
+/// Conductance certificate for a cluster. `exact_cap` selects the exact
+/// enumeration path for graphs of at most that many vertices — it DEFAULTS
+/// TO 12 and is HARD-CLAMPED TO 20 inside the function (the exact path
+/// enumerates 2^(n-1) cuts, so a generous knob must neither hang nor
+/// overflow the 32-bit subset mask): passing exact_cap = 64 still means
+/// "exact at <= 20 vertices, Cheeger estimate above". Above the effective
+/// cap, phi is the λ2/2 Cheeger value with λ2 estimated as the Rayleigh
+/// quotient of `power_iters` approx_fiedler iterations — an estimate that
+/// approaches λ2 from above, i.e. not a certified lower bound (exact =
+/// false); see the section comment above.
 inline PhiCertificate phi_certificate(const Graph& g, int exact_cap = 12,
                                       int power_iters = 60) {
   PhiCertificate out;

@@ -70,6 +70,39 @@ inline Graph random_regular(int n, int d, Rng& rng) {
   return Graph::from_edges(n, std::move(edges));
 }
 
+/// Star K_{1,n-1}: vertex 0 adjacent to every other — the max-degree spike
+/// that breaks linear-forest membership in the property-testing bench.
+inline Graph star_graph(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+/// Chain of `k` disjoint q-cliques, consecutive cliques joined by one bridge
+/// edge. Contains K_q as a subgraph, so it is the canonical ε-far negative
+/// instance for any family excluding a K_q minor (q=6 planar, q=5
+/// outerplanar, q=4 cactus, q=3 forest) while staying sparse and connected.
+inline Graph clique_chain(int k, int q) {
+  std::vector<std::pair<int, int>> edges;
+  for (int c = 0; c < k; ++c) {
+    const int base = c * q;
+    for (int u = 0; u < q; ++u) {
+      for (int v = u + 1; v < q; ++v) edges.emplace_back(base + u, base + v);
+    }
+    if (c + 1 < k) edges.emplace_back(base + q - 1, base + q);
+  }
+  return Graph::from_edges(k * q, std::move(edges));
+}
+
+/// Disjoint union: b's vertices are shifted by a.n().
+inline Graph disjoint_union(const Graph& a, const Graph& b) {
+  std::vector<std::pair<int, int>> edges = a.edges();
+  for (const auto& [u, v] : b.edges()) {
+    edges.emplace_back(u + a.n(), v + a.n());
+  }
+  return Graph::from_edges(a.n() + b.n(), std::move(edges));
+}
+
 /// Induced subgraph on `verts` with dense local ids; to_parent[i] maps local
 /// vertex i back to its id in the parent graph.
 struct InducedSubgraph {

@@ -3,12 +3,22 @@
 // Accepted forms: `--key value`, `--key=value`, `-key value`, `-key=value`.
 // A flag with no following value (or followed by another flag) is stored as
 // "1" so `--verbose` style booleans work with get_int.
+//
+// Typo safety: every flag a bench queries (via has/get/get_int/get_double)
+// is recorded as recognized; warn_unrecognized() then reports any provided
+// flag nobody asked about — so `--smok` prints a warning (with a
+// did-you-mean suggestion) instead of silently turning a smoke run into a
+// full run. Benches call it once, after their last flag read.
 #pragma once
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <map>
+#include <ostream>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace mfd {
 
@@ -32,21 +42,59 @@ class Cli {
     }
   }
 
-  bool has(const std::string& key) const { return flags_.count(key) != 0; }
+  bool has(const std::string& key) const {
+    recognized_.insert(key);
+    return flags_.count(key) != 0;
+  }
 
   std::string get(const std::string& key, const std::string& fallback) const {
+    recognized_.insert(key);
     const auto it = flags_.find(key);
     return it == flags_.end() ? fallback : it->second;
   }
 
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    recognized_.insert(key);
     const auto it = flags_.find(key);
     return it == flags_.end() ? fallback : std::stoll(it->second);
   }
 
   double get_double(const std::string& key, double fallback) const {
+    recognized_.insert(key);
     const auto it = flags_.find(key);
     return it == flags_.end() ? fallback : std::stod(it->second);
+  }
+
+  /// Flags provided on the command line that no accessor ever asked about —
+  /// typos, or flags of a different bench.
+  std::vector<std::string> unrecognized() const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : flags_) {
+      if (recognized_.count(key) == 0) out.push_back(key);
+    }
+    return out;
+  }
+
+  /// Print one warning per unrecognized flag (with a did-you-mean hint when
+  /// a recognized flag is within edit distance 2); returns how many there
+  /// were so harnesses can decide to fail on them.
+  int warn_unrecognized(std::ostream& err) const {
+    const std::vector<std::string> unknown = unrecognized();
+    for (const std::string& key : unknown) {
+      err << "warning: unknown flag --" << key;
+      std::string best;
+      std::size_t best_d = 3;  // suggest only within edit distance 2
+      for (const std::string& known : recognized_) {
+        const std::size_t d = edit_distance(key, known);
+        if (d < best_d) {
+          best_d = d;
+          best = known;
+        }
+      }
+      if (!best.empty()) err << " (did you mean --" << best << "?)";
+      err << "\n";
+    }
+    return static_cast<int>(unknown.size());
   }
 
  private:
@@ -63,7 +111,25 @@ class Cli {
     return true;
   }
 
+  static std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t diag = row[0];
+      row[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j) {
+        const std::size_t next =
+            std::min({row[j] + 1, row[j - 1] + 1,
+                      diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+        diag = row[j];
+        row[j] = next;
+      }
+    }
+    return row[b.size()];
+  }
+
   std::map<std::string, std::string> flags_;
+  mutable std::set<std::string> recognized_;
 };
 
 }  // namespace mfd

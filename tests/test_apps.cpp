@@ -93,6 +93,20 @@ TEST_CASE(blossom_known_instances) {
   }
 }
 
+namespace {
+
+// The reported set must actually be independent in g.
+bool is_independent(const Graph& g, const std::vector<int>& set) {
+  for (int u : set) {
+    for (int v : set) {
+      if (u < v && g.has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 TEST_CASE(exact_mis_matches_brute_force) {
   Rng rng(77);
   for (int trial = 0; trial < 40; ++trial) {
@@ -104,19 +118,42 @@ TEST_CASE(exact_mis_matches_brute_force) {
       }
     }
     const Graph g = Graph::from_edges(n, std::move(e));
-    CHECK_MSG(apps::max_independent_set(g) == brute_mis(g),
+    const apps::MisResult mis = apps::max_independent_set(g);
+    CHECK_MSG(static_cast<int>(mis.set.size()) == brute_mis(g),
               "trial " + std::to_string(trial));
+    CHECK_MSG(is_independent(g, mis.set), "trial " + std::to_string(trial));
   }
 }
 
 TEST_CASE(exact_mis_known_instances) {
-  CHECK(apps::max_independent_set(cycle_graph(7)) == 3);
-  CHECK(apps::max_independent_set(complete_graph(8)) == 1);
-  CHECK(apps::max_independent_set(path_graph(9)) == 5);
-  CHECK(apps::max_independent_set(grid_graph(4, 4)) == 8);
+  CHECK(apps::max_independent_set(cycle_graph(7)).set.size() == 3);
+  CHECK(apps::max_independent_set(complete_graph(8)).set.size() == 1);
+  CHECK(apps::max_independent_set(path_graph(9)).set.size() == 5);
+  CHECK(apps::max_independent_set(grid_graph(4, 4)).set.size() == 8);
   Rng rng(5);
   const Graph g = random_maximal_planar(120, rng);
-  const int mis = apps::max_independent_set(g);
+  const apps::MisResult mis = apps::max_independent_set(g);
   // Planar triangulations: alpha >= n/4 by the four color theorem.
-  CHECK(mis >= 30);
+  CHECK(mis.set.size() >= 30);
+  CHECK(is_independent(g, mis.set));
+}
+
+TEST_CASE(exact_vertex_cover_complement) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(8));
+    std::vector<std::pair<int, int>> e;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.next_below(100) < 40) e.emplace_back(a, b);
+      }
+    }
+    const Graph g = Graph::from_edges(n, std::move(e));
+    const apps::MisResult vc = apps::min_vertex_cover(g);
+    // Covers every edge, and |VC| = n - alpha(G).
+    std::vector<char> in(g.n(), 0);
+    for (int v : vc.set) in[v] = 1;
+    for (const auto& [u, v] : g.edges()) CHECK(in[u] || in[v]);
+    CHECK(static_cast<int>(vc.set.size()) == g.n() - brute_mis(g));
+  }
 }

@@ -195,3 +195,31 @@ TEST_CASE(lb_deterministic) {
   CHECK(a.outer_iterations == b.outer_iterations);
   CHECK(a.max_load == b.max_load);
 }
+
+// The batched per-round walk engine must be bit-identical to the reference
+// token-serial loop — same hash stream, same congestion accounting, same
+// delivered fraction, routes, and round bill (n <= 4k instances).
+TEST_CASE(rw_batched_matches_serial) {
+  const auto run = [](RwSimEngine engine, int cycle_n, double f) {
+    Rng rng(17);
+    const ExpanderSplit sp = expander_split(add_apex(cycle_graph(cycle_n)), rng);
+    RwParams p;
+    p.sim_engine = engine;
+    return gather_random_walks(sp, cycle_n, f, p);
+  };
+  for (int cycle_n : {24, 257, 2047}) {
+    for (double f : {0.25, 0.05}) {
+      const RwResult serial = run(RwSimEngine::kSerial, cycle_n, f);
+      const RwResult batched = run(RwSimEngine::kBatched, cycle_n, f);
+      const std::string ctx =
+          "n=" + std::to_string(cycle_n) + " f=" + Table::num(f, 2);
+      CHECK_MSG(serial.delivered_fraction == batched.delivered_fraction, ctx);
+      CHECK_MSG(serial.rounds == batched.rounds, ctx);
+      CHECK_MSG(serial.walk_length == batched.walk_length, ctx);
+      CHECK_MSG(serial.schedule.seed == batched.schedule.seed, ctx);
+      CHECK_MSG(serial.schedule.seed_tries == batched.schedule.seed_tries, ctx);
+      CHECK_MSG(serial.route == batched.route, ctx);
+      CHECK_MSG(serial.ledger.total() == batched.ledger.total(), ctx);
+    }
+  }
+}

@@ -104,3 +104,34 @@ TEST_CASE(table_alignment) {
   CHECK(lines[2].rfind("12") == lines[2].size() - 2);
   CHECK(lines[3].rfind("3456") == lines[3].size() - 4);
 }
+
+TEST_CASE(cli_unknown_flags_warn) {
+  // --smok is a typo for --smoke: it must be reported (with a suggestion),
+  // not silently ignored — a smoke run must never silently become full.
+  const char* argv[] = {"prog", "--smok", "--n", "64", "--sed", "9"};
+  const Cli cli(6, const_cast<char**>(argv));
+  CHECK(!cli.has("smoke"));
+  CHECK(cli.get_int("n", 0) == 64);
+  CHECK(cli.get_int("seed", 1) == 1);
+  const std::vector<std::string> unknown = cli.unrecognized();
+  CHECK(unknown.size() == 2);
+  CHECK(unknown[0] == "sed");
+  CHECK(unknown[1] == "smok");
+  std::ostringstream err;
+  CHECK(cli.warn_unrecognized(err) == 2);
+  const std::string text = err.str();
+  CHECK(text.find("unknown flag --smok") != std::string::npos);
+  CHECK(text.find("did you mean --smoke?") != std::string::npos);
+  CHECK(text.find("unknown flag --sed") != std::string::npos);
+  CHECK(text.find("did you mean --seed?") != std::string::npos);
+}
+
+TEST_CASE(cli_recognized_flags_quiet) {
+  const char* argv[] = {"prog", "--n", "64", "--smoke"};
+  const Cli cli(4, const_cast<char**>(argv));
+  CHECK(cli.get_int("n", 0) == 64);
+  CHECK(cli.has("smoke"));
+  std::ostringstream err;
+  CHECK(cli.warn_unrecognized(err) == 0);
+  CHECK(err.str().empty());
+}
