@@ -27,7 +27,10 @@ int main(int argc, char** argv) {
   // --n caps every instance size; the defaults sit far below the tier-1
   // smoke value (4096), so the cap only bites when set small.
   const int ncap = static_cast<int>(cli.get_int("n", 1 << 20));
+  BenchJson json(cli, "ablation");
   cli.warn_unrecognized(std::cerr);
+  json.param("seed", cli.get_int("seed", 11));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   print_header("E-ABL: ablations", "design-choice ablations (DESIGN.md §3)");
 
@@ -140,6 +143,10 @@ int main(int argc, char** argv) {
       {
         const decomp::EdtDecomposition edt =
             decomp::build_edt_decomposition(g, eps);
+        if (eps == 0.25) {
+          json.phases(edt.ledger, 2 * g.m());
+          json.metric("eps_measured", edt.quality.eps_fraction);
+        }
         t.add_row({"bottom-up (ours, local)", Table::num(eps, 2),
                    Table::num(edt.quality.eps_fraction, 3),
                    Table::integer(edt.quality.max_diameter),
@@ -175,5 +182,6 @@ int main(int argc, char** argv) {
                  "cluster diameter at O(1/eps)\n   while top-down expander "
                  "clusters carry the log-factor diameter.\n";
   }
+  json.write();
   return 0;
 }

@@ -3,10 +3,27 @@
 // Every bench binary regenerates one table/figure-equivalent of the paper
 // (see DESIGN.md §3): it prints the paper's claimed row next to the measured
 // value so EXPERIMENTS.md can record paper-vs-measured directly.
+//
+// Bandwidth-audit plumbing shared by all benches:
+//   * print_phase_table — the per-phase rounds / messages / peak-congestion
+//     breakdown of a congest::Runtime;
+//   * check_runtime_audit — runs Runtime::audit() and exits nonzero on a
+//     violation, so a mis-metered phase fails the smoke run, not just a
+//     code review;
+//   * BenchJson — machine-readable `BENCH_<name>.json` output behind the
+//     shared `--json` flag (schema checked in CI by
+//     scripts/check_bench_json.py; see docs/BENCHMARKS.md).
 #pragma once
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "congest/runtime.hpp"
 #include "graph/generators.hpp"
@@ -48,5 +65,157 @@ inline void print_header(const std::string& experiment,
   std::cout << "## " << experiment << "\n"
             << "paper artifact: " << paper_artifact << "\n\n";
 }
+
+/// Per-phase bandwidth breakdown of a runtime: rounds, measured/envelope
+/// messages, and peak per-directed-edge per-round congestion, with a TOTAL
+/// row (total rounds, total messages, max congestion over phases).
+inline void print_phase_table(std::ostream& out, const congest::Runtime& rt,
+                              const std::string& title) {
+  out << "\n-- " << title << " (per-phase rounds x messages x congestion)\n";
+  Table t({"phase", "rounds", "messages", "peak congestion"});
+  for (const congest::RoundCharge& e : rt.entries()) {
+    t.add_row({e.phase, Table::integer(e.rounds), Table::integer(e.messages),
+               Table::integer(e.max_congestion)});
+  }
+  t.add_row({"TOTAL", Table::integer(rt.total()),
+             Table::integer(rt.total_messages()),
+             Table::integer(rt.peak_congestion())});
+  t.print(out);
+}
+
+/// Run Runtime::audit() and fail the bench loudly on a violation — the
+/// regression gate that keeps every phase's accounting conservative.
+/// directed_edges is 2*m of the largest graph the runtime's phases ran on.
+inline void check_runtime_audit(const congest::Runtime& rt,
+                                std::int64_t directed_edges,
+                                const std::string& context) {
+  const congest::AuditResult a = rt.audit(directed_edges);
+  if (!a.ok) {
+    std::cerr << "runtime audit FAILED (" << context << "): " << a.violation
+              << "\n";
+    std::exit(1);
+  }
+  std::cout << "runtime audit: ok (" << context << ")\n";
+}
+
+/// Machine-readable bench output behind the shared `--json` flag: collects
+/// params, per-phase charges, quality metrics and wall time, then writes
+/// `BENCH_<name>.json` next to the binary's working directory. The schema
+/// (version 1) is validated in CI by scripts/check_bench_json.py:
+///   { schema_version, bench, params{}, phases[], totals{}, audit_ok,
+///     metrics{}, wall_time_ms }
+class BenchJson {
+ public:
+  BenchJson(const Cli& cli, std::string name)
+      : enabled_(cli.has("json")),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  bool enabled() const { return enabled_; }
+
+  void param(const std::string& key, const std::string& v) {
+    params_.emplace_back(key, quote(v));
+  }
+  void param(const std::string& key, std::int64_t v) {
+    params_.emplace_back(key, std::to_string(v));
+  }
+  void param(const std::string& key, double v) {
+    params_.emplace_back(key, fmt(v));
+  }
+
+  void metric(const std::string& key, std::int64_t v) {
+    metrics_.emplace_back(key, std::to_string(v));
+  }
+  void metric(const std::string& key, double v) {
+    metrics_.emplace_back(key, fmt(v));
+  }
+
+  /// Record a representative runtime's phase breakdown (replaces any prior
+  /// one) and audit it against the given directed-edge count.
+  void phases(const congest::Runtime& rt, std::int64_t directed_edges) {
+    entries_ = rt.entries();
+    total_rounds_ = rt.total();
+    total_messages_ = rt.total_messages();
+    peak_congestion_ = rt.peak_congestion();
+    audit_ok_ = rt.audit(directed_edges).ok;
+  }
+
+  /// Write BENCH_<name>.json (no-op without --json). Returns the file name.
+  std::string write() {
+    if (!enabled_) return "";
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const std::string file = "BENCH_" + name_ + ".json";
+    std::ofstream out(file);
+    out << "{\n  \"schema_version\": 1,\n  \"bench\": " << quote(name_)
+        << ",\n  \"params\": {";
+    write_map(out, params_);
+    out << "},\n  \"phases\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const congest::RoundCharge& e = entries_[i];
+      out << (i ? "," : "") << "\n    {\"phase\": " << quote(e.phase)
+          << ", \"rounds\": " << e.rounds << ", \"messages\": " << e.messages
+          << ", \"max_congestion\": " << e.max_congestion << "}";
+    }
+    out << (entries_.empty() ? "" : "\n  ") << "],\n  \"totals\": {\"rounds\": "
+        << total_rounds_ << ", \"messages\": " << total_messages_
+        << ", \"peak_congestion\": " << peak_congestion_ << "},\n"
+        << "  \"audit_ok\": " << (audit_ok_ ? "true" : "false") << ",\n"
+        << "  \"metrics\": {";
+    write_map(out, metrics_);
+    out << "},\n  \"wall_time_ms\": " << fmt(wall_ms) << "\n}\n";
+    std::cout << "\nwrote " << file << "\n";
+    return file;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  static std::string fmt(double v) {
+    // JSON has no nan/inf tokens; a degenerate metric becomes null so the
+    // schema checker names the offending key instead of a parse error.
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  static void write_map(
+      std::ostream& out,
+      const std::vector<std::pair<std::string, std::string>>& kv) {
+    for (std::size_t i = 0; i < kv.size(); ++i) {
+      out << (i ? ", " : "") << quote(kv[i].first) << ": " << kv[i].second;
+    }
+  }
+
+  bool enabled_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<congest::RoundCharge> entries_;
+  std::int64_t total_rounds_ = 0;
+  std::int64_t total_messages_ = 0;
+  std::int64_t peak_congestion_ = 0;
+  bool audit_ok_ = true;
+};
 
 }  // namespace mfd::bench

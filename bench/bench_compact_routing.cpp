@@ -23,7 +23,11 @@ int main(int argc, char** argv) {
   const int pairs =
       static_cast<int>(cli.get_int("pairs", smoke ? 100 : 300));
   const int nplanar = smoke ? 600 : 2000, nfam = smoke ? 500 : 1500;
+  BenchJson json(cli, "compact_routing");
   cli.warn_unrecognized(std::cerr);
+  json.param("pairs", static_cast<std::int64_t>(pairs));
+  json.param("seed", cli.get_int("seed", 19));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   print_header("E-CROUTE: compact routing",
                "two-level routing over the (eps, D, T)-decomposition");
@@ -40,6 +44,12 @@ int main(int argc, char** argv) {
       const apps::RoutingScheme s =
           apps::build_routing_scheme(g, edt.clustering);
       const apps::StretchStats st = apps::measure_stretch(g, s, pairs, rng);
+      if (eps == 0.25) {
+        json.phases(edt.ledger, 2 * g.m());
+        json.metric("eps", eps);
+        json.metric("avg_stretch", st.avg_stretch);
+        json.metric("delivered_fraction", st.delivered_fraction);
+      }
       t.add_row({Table::num(eps, 2), Table::integer(edt.quality.max_diameter),
                  Table::integer(edt.clustering.k),
                  Table::num(st.avg_stretch, 2), Table::num(st.max_stretch, 2),
@@ -74,5 +84,6 @@ int main(int argc, char** argv) {
                "O(log n); stretch and table bits both track the cluster "
                "count k — large eps pays cluster-tree hops, small eps pays "
                "D = O(1/eps) per hop.\n";
+  json.write();
   return 0;
 }

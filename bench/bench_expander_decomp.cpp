@@ -8,7 +8,11 @@
 // We sweep ε, build both objects (Observation 3.1 pipeline and the §4.2
 // overlap algorithm), and report measured cut fraction, certified
 // conductance (exact for tiny clusters, Cheeger λ2/2 otherwise), and the
-// overlap c — next to the paper's formula value for the same ε.
+// overlap c — next to the paper's formula value for the same ε. The
+// bandwidth audit section prints the per-phase rounds x messages x
+// peak-congestion breakdown and fails the run on a Runtime::audit()
+// violation; the overlap table also exercises the budgeted per-level cut
+// (enforced halving) and its evaluate_overlap audit.
 #include <cmath>
 #include "decomp/clustering.hpp"
 
@@ -26,8 +30,14 @@ int main(int argc, char** argv) {
   const int n =
       static_cast<int>(cli.get_int("n", cli.has("smoke") ? 256 : 1024));
   Rng rng(cli.get_int("seed", 4));
-  const Graph g = make_family(cli.get("family", "grid"), n, rng);
+  const std::string family = cli.get("family", "grid");
+  const Graph g = make_family(family, n, rng);
+  BenchJson json(cli, "expander_decomp");
   cli.warn_unrecognized(std::cerr);
+  json.param("n", static_cast<std::int64_t>(g.n()));
+  json.param("m", g.m());
+  json.param("family", family);
+  json.param("seed", cli.get_int("seed", 4));
 
   print_header("E-EXPDEC: Corollary 6.2",
                "(eps, phi) and (eps, phi, c) expander decompositions");
@@ -35,7 +45,8 @@ int main(int argc, char** argv) {
 
   {
     Table t({"eps", "eps measured", "phi target (max over clusters)",
-             "phi certified (min, Cheeger)", "clusters"});
+             "phi certified (min, Cheeger)", "clusters", "messages",
+             "peak cong"});
     for (double eps : {0.6, 0.5, 0.4}) {
       const decomp::ExpanderDecomp ed =
           decomp::expander_decomposition_minor_free(g, eps);
@@ -43,7 +54,20 @@ int main(int argc, char** argv) {
       t.add_row({Table::num(eps, 2), Table::num(q.eps_fraction, 3),
                  Table::num(ed.phi_target, 4),
                  Table::num(ed.min_certified_phi, 4),
-                 Table::integer(ed.clustering.k)});
+                 Table::integer(ed.clustering.k),
+                 Table::integer(ed.ledger.total_messages()),
+                 Table::integer(ed.ledger.peak_congestion())});
+      if (eps == 0.5) {
+        print_phase_table(std::cout, ed.ledger,
+                          "(eps, phi) pipeline, eps = 0.5 on " + family);
+        check_runtime_audit(ed.ledger, 2 * g.m(), "expander decomp eps=0.5");
+        json.phases(ed.ledger, 2 * g.m());
+        json.metric("eps_target", eps);
+        json.metric("eps_measured", q.eps_fraction);
+        json.metric("phi_target", ed.phi_target);
+        json.metric("phi_certified", ed.min_certified_phi);
+        json.metric("clusters", static_cast<std::int64_t>(ed.clustering.k));
+      }
     }
     std::cout << "-- (eps, phi) expander decomposition (Observation 3.1)\n"
               << "   (certification is the Cheeger bound lambda2/2, which is\n"
@@ -52,21 +76,33 @@ int main(int argc, char** argv) {
   }
   {
     Table t({"eps", "eps measured", "overlap c", "c bound O(log 1/e)",
-             "phi lower (audited)", "iterations"});
+             "phi lower (audited)", "iterations", "budget"});
     for (double eps : {0.5, 0.35, 0.25, 0.15}) {
+      decomp::OverlapDecompParams op;
+      op.budgeted = true;  // enforce the per-level halving, don't just measure
       const decomp::OverlapDecompResult od =
-          decomp::overlap_expander_decomposition(g, eps);
-      const decomp::OverlapQuality q = decomp::evaluate_overlap(g, od.oc);
+          decomp::overlap_expander_decomposition(g, eps, op);
+      const decomp::OverlapQuality q = decomp::evaluate_overlap(g, od);
+      check_runtime_audit(od.ledger, 2 * g.m(),
+                          "overlap eps=" + Table::num(eps, 2));
       t.add_row({Table::num(eps, 2), Table::num(q.base.eps_fraction, 3),
                  Table::integer(q.overlap_c),
                  Table::num(std::log2(1.0 / eps) + 1, 1),
                  Table::num(q.min_support_phi_lower, 4),
-                 Table::integer(od.iterations)});
+                 Table::integer(od.iterations),
+                 q.level_budget_ok ? "ok" : "VIOLATED"});
+      if (!q.level_budget_ok) {
+        std::cerr << "overlap level budget violated at eps=" << eps << "\n";
+        return 1;
+      }
     }
-    std::cout << "\n-- (eps, phi, c) overlap decomposition (Lemma 4.1)\n";
+    std::cout << "\n-- (eps, phi, c) overlap decomposition (Lemma 4.1, "
+                 "budgeted per-level halving)\n";
     t.print(std::cout);
   }
   std::cout << "\nShape checks: certified phi tracks the eps/(log 1/e + log "
-               "D) formula; overlap c stays O(log 1/eps).\n";
+               "D) formula; overlap c stays O(log 1/eps); every level "
+               "halves its uncovered edges (budget column all ok).\n";
+  json.write();
   return 0;
 }

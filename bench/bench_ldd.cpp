@@ -10,6 +10,11 @@
 // The ε-sweep shows the qualitative separations: ours and CHW give
 // O(1/ε)-diameter clusters; MPX diameters carry the extra log n factor;
 // all meet the ε cut budget (MPX in expectation).
+//
+// The bandwidth audit section prints the full per-phase rounds x messages x
+// peak-congestion breakdown of our pipeline (every decomposition phase
+// meters its traffic — see docs/ARCHITECTURE.md "The bandwidth model") and
+// fails the run if Runtime::audit() finds an accounting violation.
 #include <cmath>
 
 #include "bench_common.hpp"
@@ -21,13 +26,21 @@ int main(int argc, char** argv) {
   using namespace mfd;
   using namespace mfd::bench;
   const Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
   // Default to a large grid: its Θ(√n) diameter is what makes the paper's
   // separation visible (MPX's O(log n/ε) cluster radius would swallow a
   // random triangulation whole — diameter O(log n) — telling us nothing).
-  const int n = static_cast<int>(cli.get_int("n", 10000));
+  const int n = static_cast<int>(cli.get_int("n", smoke ? 1024 : 10000));
   Rng rng(cli.get_int("seed", 3));
-  const Graph g = make_family(cli.get("family", "grid"), n, rng);
+  const std::string family = cli.get("family", "grid");
+  const Graph g = make_family(family, n, rng);
+  BenchJson json(cli, "ldd");
   cli.warn_unrecognized(std::cerr);
+  json.param("n", static_cast<std::int64_t>(g.n()));
+  json.param("m", g.m());
+  json.param("family", family);
+  json.param("seed", cli.get_int("seed", 3));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   print_header("E-LDD: Corollary 6.1 + baselines",
                "(eps, D) low-diameter decomposition: ours vs CHW(LOCAL) vs "
@@ -35,22 +48,37 @@ int main(int argc, char** argv) {
   std::cout << g.summary() << "\n\n";
 
   Table t({"algorithm", "model", "eps", "eps measured", "D measured",
-           "rounds", "clusters"});
+           "rounds", "messages", "peak cong", "clusters"});
+  // The eps = 0.3 decomposition is reused by the bandwidth-audit section
+  // below (the construction is deterministic, so rebuilding would only
+  // duplicate work).
+  decomp::EdtDecomposition rep;
   for (double eps : {0.4, 0.3, 0.2}) {
     {
-      const decomp::EdtDecomposition edt = decomp::build_edt_decomposition(g, eps);
+      decomp::EdtDecomposition edt = decomp::build_edt_decomposition(g, eps);
       t.add_row({"ours (Thm 1.1)", "CONGEST det", Table::num(eps, 2),
                  Table::num(edt.quality.eps_fraction, 3),
                  Table::integer(edt.quality.max_diameter),
                  Table::integer(edt.ledger.total()),
+                 Table::integer(edt.ledger.total_messages()),
+                 Table::integer(edt.ledger.peak_congestion()),
                  Table::integer(edt.clustering.k)});
+      if (eps == 0.3) {
+        json.phases(edt.ledger, 2 * g.m());
+        json.metric("eps_target", eps);
+        json.metric("eps_measured", edt.quality.eps_fraction);
+        json.metric("max_diameter",
+                    static_cast<std::int64_t>(edt.quality.max_diameter));
+        json.metric("clusters", static_cast<std::int64_t>(edt.clustering.k));
+        rep = std::move(edt);
+      }
     }
     {
       const decomp::ChwLdd chw = decomp::ldd_chw_local_model(g, eps, 3);
       t.add_row({"CHW08", "LOCAL det", Table::num(eps, 2),
                  Table::num(chw.quality.eps_fraction, 3),
                  Table::integer(chw.quality.max_diameter),
-                 Table::integer(chw.ledger.total()),
+                 Table::integer(chw.ledger.total()), "-", "-",
                  Table::integer(chw.clustering.k)});
     }
     {
@@ -65,12 +93,22 @@ int main(int argc, char** argv) {
       }
       t.add_row({"MPX13 (mean of 5)", "CONGEST rand", Table::num(eps, 2),
                  Table::num(frac.mean(), 3), Table::num(diam.mean(), 1),
-                 Table::num(rounds.mean(), 1), Table::num(clusters.mean(), 0)});
+                 Table::num(rounds.mean(), 1), "-", "-",
+                 Table::num(clusters.mean(), 0)});
     }
   }
   t.print(std::cout);
   std::cout << "\nShape checks: our D and CHW's D scale like 1/eps; MPX's D "
-               "carries the extra log n factor.\n";
+               "carries the extra log n factor. CHW is LOCAL (unbounded "
+               "messages) and MPX messages are envelope-only, so their "
+               "message columns stay '-'.\n";
+
+  // Bandwidth audit: the full phase breakdown of our pipeline at eps = 0.3 —
+  // every phase must report nonzero messages and congestion, and the charge
+  // sequence must pass the Runtime::audit() invariants.
+  print_phase_table(std::cout, rep.ledger,
+                    "ours (Thm 1.1), eps = 0.3 on " + family);
+  check_runtime_audit(rep.ledger, 2 * g.m(), "edt eps=0.3");
 
   // Construction-rounds scaling: the Section-4 local pipeline (heavy-stars
   // contraction, default) against the retired global-BFS chop
@@ -82,15 +120,20 @@ int main(int argc, char** argv) {
                  "pipeline vs global-BFS chop\n";
     Table s({"n", "sqrt(n)", "rounds (local)", "D (local)", "rounds (chop)",
              "D (chop)"});
-    for (int sn : {1024, 4096, 16384, 65536}) {
+    for (int sn : smoke ? std::vector<int>{1024, 4096}
+                        : std::vector<int>{1024, 4096, 16384, 65536}) {
       Rng srng(cli.get_int("seed", 3));
-      const Graph sg = make_family(cli.get("family", "grid"), sn, srng);
+      const Graph sg = make_family(family, sn, srng);
       const decomp::EdtDecomposition local =
           decomp::build_edt_decomposition(sg, 0.3);
       decomp::EdtParams chop_params;
       chop_params.chop = decomp::EdtChop::kGlobalBfs;
       const decomp::EdtDecomposition chop =
           decomp::build_edt_decomposition(sg, 0.3, chop_params);
+      check_runtime_audit(local.ledger, 2 * sg.m(),
+                          "local n=" + std::to_string(sg.n()));
+      check_runtime_audit(chop.ledger, 2 * sg.m(),
+                          "chop n=" + std::to_string(sg.n()));
       s.add_row({Table::integer(sg.n()),
                  Table::num(std::sqrt(static_cast<double>(sg.n())), 0),
                  Table::integer(local.ledger.total()),
@@ -102,5 +145,6 @@ int main(int argc, char** argv) {
     std::cout << "\nShape check: 'rounds (local)' stays near-flat while "
                  "'rounds (chop)' grows like sqrt(n).\n";
   }
+  json.write();
   return 0;
 }

@@ -14,7 +14,10 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 8));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  BenchJson json(cli, "matching_vc");
   cli.warn_unrecognized(std::cerr);
+  json.param("seed", cli.get_int("seed", 8));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   print_header("E-MATCHVC: Corollary 6.4",
                "(1-eps) maximum matching and (1+eps) minimum vertex cover");
@@ -41,6 +44,12 @@ int main(int argc, char** argv) {
     for (double eps : {0.4, 0.25}) {
       const apps::MatchingSolution sol =
           apps::approx_max_matching(inst.g, eps, inst.alpha);
+      if (inst.name.rfind("grid", 0) == 0 && eps == 0.25) {
+        json.phases(sol.stats.runtime, 2 * inst.g.m());
+        json.metric("eps", eps);
+        json.metric("matching_ratio", static_cast<double>(sol.edges.size()) /
+                                          static_cast<double>(opt.size()));
+      }
       tm.add_row({inst.name, Table::num(eps, 2),
                   Table::integer(static_cast<long long>(sol.edges.size())),
                   Table::integer(static_cast<long long>(opt.size())),
@@ -73,5 +82,6 @@ int main(int argc, char** argv) {
   tv.print(std::cout);
   std::cout << "\nShape checks: matching ratio >= 1-eps; cover ratio <= "
                "1+eps.\n";
+  json.write();
   return 0;
 }

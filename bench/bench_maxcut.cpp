@@ -16,7 +16,10 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 6));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  BenchJson json(cli, "maxcut");
   cli.warn_unrecognized(std::cerr);
+  json.param("seed", cli.get_int("seed", 6));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   print_header("E-MAXCUT: Corollary 6.3", "(1-eps)-approximate max cut");
 
@@ -45,6 +48,12 @@ int main(int argc, char** argv) {
   for (const Inst& inst : instances) {
     for (double eps : {0.4, 0.25, 0.15}) {
       const apps::CutSolution sol = apps::approx_max_cut(inst.g, eps);
+      if (inst.name.rfind("grid", 0) == 0 && eps == 0.25) {
+        json.phases(sol.stats.runtime, 2 * inst.g.m());
+        json.metric("eps", eps);
+        json.metric("cut_value", sol.value);
+        json.metric("ratio", static_cast<double>(sol.value) / inst.opt);
+      }
       t.add_row({inst.name, Table::num(eps, 2), Table::integer(sol.value),
                  Table::integer(inst.opt),
                  Table::num(static_cast<double>(sol.value) / inst.opt, 3),
@@ -56,5 +65,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nShape checks: ratio >= 1-eps on rows with exact OPT "
                "(first & second instance).\n";
+  json.write();
   return 0;
 }

@@ -17,7 +17,10 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 11));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  BenchJson json(cli, "mds");
   cli.warn_unrecognized(std::cerr);
+  json.param("seed", cli.get_int("seed", 11));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   print_header("E-MDS: covering application",
                "(1+eps)-approximate minimum dominating set");
@@ -52,6 +55,12 @@ int main(int argc, char** argv) {
       for (double eps : {0.6, 0.4}) {
         const apps::MdsSolution sol =
             apps::approx_min_dominating_set(inst.g, eps, inst.alpha);
+        if (inst.name.rfind("grid", 0) == 0 && eps == 0.4) {
+          json.phases(sol.stats.runtime, 2 * inst.g.m());
+          json.metric("eps", eps);
+          json.metric("ratio", static_cast<double>(sol.vertices.size()) /
+                                   static_cast<double>(opt.set.size()));
+        }
         t.add_row(
             {inst.name, Table::num(eps, 2),
              Table::integer(static_cast<long long>(sol.vertices.size())),
@@ -90,5 +99,6 @@ int main(int argc, char** argv) {
 
   std::cout << "\nShape checks: ratio <= 1+eps on every row; greedy is the "
                "ln(Delta)-factor baseline the decomposition beats.\n";
+  json.write();
   return 0;
 }

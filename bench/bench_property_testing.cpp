@@ -18,7 +18,10 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 9));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  BenchJson json(cli, "property_testing");
   cli.warn_unrecognized(std::cerr);
+  json.param("seed", cli.get_int("seed", 9));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   print_header("E-PTEST: Corollary 6.6 + Theorem 6.2",
                "property testing of additive minor-closed properties");
@@ -72,6 +75,10 @@ int main(int argc, char** argv) {
     const apps::PropertyTestResult res = apps::test_property(c.g, c.fam, 0.2);
     const bool ok = res.accepted == c.expect_accept;
     correct += ok ? 1 : 0;
+    if (c.name.rfind("grid", 0) == 0) {
+      json.phases(res.runtime, 2 * c.g.m());
+      json.metric("eps", 0.2);
+    }
     t.add_row({c.name, family_name(c.fam),
                c.expect_accept ? "accept" : "reject",
                res.accepted ? "accept" : "reject",
@@ -97,5 +104,7 @@ int main(int argc, char** argv) {
   std::cout << "\nShape checks: all verdicts correct; member rounds grow "
                "mildly with n (the Omega(log n / eps) lower bound says they "
                "cannot be flat).\n";
+  json.metric("correct_verdicts", static_cast<std::int64_t>(correct));
+  json.write();
   return 0;
 }

@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
     int vstar = 0;
     instances.push_back({"6-regular(" + std::to_string(nr) + ")", rr, vstar});
   }
+  BenchJson json(cli, "routing");
   cli.warn_unrecognized(std::cerr);
+  json.param("seed", cli.get_int("seed", 5));
+  json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
 
   Table t({"instance", "engine", "f", "delivered", "rounds",
            "schedule bits", "seed tries"});
@@ -77,6 +80,11 @@ int main(int argc, char** argv) {
           p.max_walks_total = 4'000'000;
         }
         const RwResult rw = gather_random_walks(sp, inst.v_star, f, p);
+        if (inst.name.rfind("wheel", 0) == 0 && f == 0.1) {
+          json.phases(rw.ledger, 2 * inst.g.m());
+          json.metric("f", f);
+          json.metric("delivered_fraction", rw.delivered_fraction);
+        }
         t.add_row({inst.name, "RW (Lem 2.5)", Table::num(f, 2),
                    Table::num(rw.delivered_fraction, 3),
                    Table::integer(rw.rounds),
@@ -110,5 +118,6 @@ int main(int argc, char** argv) {
   std::cout << "\nShape checks: both engines reach (1-f); RW rounds beat LB "
                "for small f on the same instance; one seed serves all "
                "subgraphs in the shared run.\n";
+  json.write();
   return 0;
 }

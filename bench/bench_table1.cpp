@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int scale = static_cast<int>(cli.get_int("scale", 1));
   Rng rng(cli.get_int("seed", 1));
+  BenchJson json(cli, "table1");
   cli.warn_unrecognized(std::cerr);
+  json.param("scale", static_cast<std::int64_t>(scale));
+  json.param("seed", cli.get_int("seed", 1));
 
   print_header("T1: Table 1",
                "construction & routing complexity across the four (Δ, ε) "
@@ -93,5 +96,16 @@ int main(int argc, char** argv) {
   std::cout << "\nShape checks: within each const-parameter block the "
                "measured columns should grow sub-polynomially with n;\n"
                "eps-measured must stay <= eps.\n";
+  if (json.enabled()) {
+    // Representative phase record for the JSON artifact: the first regime
+    // row (grid, eps = 0.3) rebuilt at the same seed.
+    Rng jr(cli.get_int("seed", 1));
+    const Graph jg = make_family("grid", 1024 * scale, jr);
+    const decomp::EdtDecomposition edt =
+        decomp::build_edt_decomposition(jg, 0.3);
+    json.phases(edt.ledger, 2 * jg.m());
+    json.metric("eps_measured", edt.quality.eps_fraction);
+  }
+  json.write();
   return 0;
 }

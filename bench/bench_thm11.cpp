@@ -18,8 +18,13 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int n = static_cast<int>(cli.get_int("n", 4000));
   Rng rng(cli.get_int("seed", 2));
-  const Graph g = make_family(cli.get("family", "planar"), n, rng);
+  const std::string family = cli.get("family", "planar");
+  const Graph g = make_family(family, n, rng);
+  BenchJson json(cli, "thm11");
   cli.warn_unrecognized(std::cerr);
+  json.param("n", static_cast<std::int64_t>(g.n()));
+  json.param("family", family);
+  json.param("seed", cli.get_int("seed", 2));
 
   print_header("E-THM11: Theorem 1.1",
                "(eps, D, T)-decomposition: D = O(1/eps), both T variants");
@@ -35,6 +40,12 @@ int main(int argc, char** argv) {
       p.variant = variant;
       const decomp::EdtDecomposition edt =
           decomp::build_edt_decomposition(g, eps, p);
+      if (variant == decomp::EdtVariant::kPolylogRouting && eps == 0.3) {
+        json.phases(edt.ledger, 2 * g.m());
+        json.metric("eps", eps);
+        json.metric("eps_measured", edt.quality.eps_fraction);
+        json.metric("T_measured", static_cast<std::int64_t>(edt.T_measured));
+      }
       t.add_row({vname, Table::num(eps, 2),
                  Table::num(edt.quality.eps_fraction, 3),
                  Table::integer(edt.quality.max_diameter),
@@ -48,5 +59,6 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\nShape checks: 'D*eps' should stay bounded (D = O(1/eps)); "
                "'eps measured' <= eps for every row.\n";
+  json.write();
   return 0;
 }

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Schema check for the machine-readable bench output (BENCH_*.json).
+
+Usage: check_bench_json.py FILE [FILE ...]
+       check_bench_json.py --glob DIR   # checks every BENCH_*.json under DIR
+
+Validates schema version 1 as emitted by bench/bench_common.hpp::BenchJson:
+
+    {
+      "schema_version": 1,
+      "bench": str,
+      "params": {str: str|int|float, ...},
+      "phases": [{"phase": str, "rounds": int >= 0,
+                  "messages": int >= 0, "max_congestion": int >= 0}, ...],
+      "totals": {"rounds": int, "messages": int, "peak_congestion": int},
+      "audit_ok": true,
+      "metrics": {str: int|float, ...},
+      "wall_time_ms": float >= 0
+    }
+
+Beyond key/type checks it re-derives the totals from the phase list and
+enforces the same bandwidth invariants Runtime::audit() checks, so a bench
+that emits inconsistent accounting fails CI even if the binary forgot to
+audit. No third-party dependencies — stdlib json only.
+"""
+import glob
+import json
+import os
+import sys
+
+INT = int
+NUM = (int, float)
+
+
+def fail(path, msg):
+    print(f"{path}: SCHEMA VIOLATION: {msg}", file=sys.stderr)
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON ({e})")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema_version") != 1:
+        return fail(path, f"schema_version != 1 ({doc.get('schema_version')!r})")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, "missing/empty 'bench' name")
+
+    for key in ("params", "metrics"):
+        val = doc.get(key)
+        if not isinstance(val, dict):
+            return fail(path, f"'{key}' is not an object")
+        for k, v in val.items():
+            if not isinstance(k, str) or not isinstance(v, NUM + (str,)):
+                return fail(path, f"'{key}.{k}' has non-scalar value {v!r}")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list):
+        return fail(path, "'phases' is not an array")
+    rounds_sum = messages_sum = peak_max = 0
+    for i, e in enumerate(phases):
+        if not isinstance(e, dict):
+            return fail(path, f"phases[{i}] is not an object")
+        if not isinstance(e.get("phase"), str) or not e["phase"]:
+            return fail(path, f"phases[{i}] missing phase name")
+        for k in ("rounds", "messages", "max_congestion"):
+            if not isinstance(e.get(k), INT) or isinstance(e.get(k), bool):
+                return fail(path, f"phases[{i}].{k} is not an integer")
+            if e[k] < 0:
+                return fail(path, f"phases[{i}].{k} is negative")
+        # The Runtime::audit() conservation invariants, re-checked offline.
+        if e["messages"] > 0 and (e["rounds"] < 1 or e["max_congestion"] < 1):
+            return fail(path, f"phases[{i}] has messages without rounds/congestion")
+        if e["messages"] == 0 and e["max_congestion"] > 0:
+            return fail(path, f"phases[{i}] has congestion without messages")
+        if e["max_congestion"] > e["messages"]:
+            return fail(path, f"phases[{i}] peak congestion exceeds messages")
+        rounds_sum += e["rounds"]
+        messages_sum += e["messages"]
+        peak_max = max(peak_max, e["max_congestion"])
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        return fail(path, "'totals' is not an object")
+    expect = {"rounds": rounds_sum, "messages": messages_sum,
+              "peak_congestion": peak_max}
+    for k, v in expect.items():
+        if not isinstance(totals.get(k), INT):
+            return fail(path, f"totals.{k} is not an integer")
+        if phases and totals[k] != v:
+            return fail(path, f"totals.{k}={totals[k]} != sum/max of phases ({v})")
+
+    if doc.get("audit_ok") is not True:
+        return fail(path, f"audit_ok is {doc.get('audit_ok')!r}, expected true")
+    wall = doc.get("wall_time_ms")
+    if not isinstance(wall, NUM) or isinstance(wall, bool) or wall < 0:
+        return fail(path, f"wall_time_ms invalid ({wall!r})")
+
+    print(f"{path}: ok ({len(phases)} phases, {messages_sum} messages)")
+    return True
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--glob":
+        root = argv[2] if len(argv) > 2 else "."
+        files = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    else:
+        files = argv[1:]
+    if not files:
+        print("check_bench_json.py: no BENCH_*.json files to check",
+              file=sys.stderr)
+        return 1
+    ok = all([check_file(f) for f in files])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

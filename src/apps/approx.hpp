@@ -75,13 +75,21 @@ inline AppDecomposition decompose_for_app(const Graph& g, double eps_star,
   for (int v = 0; v < g.n(); ++v) {
     out.members[out.edt.clustering.cluster[v]].push_back(v);
   }
-  stats.runtime.absorb(out.edt.ledger, "edt: ");
+  {
+    congest::ChargeScope edt_scope(stats.runtime, "edt");
+    edt_scope.absorb(out.edt.ledger);
+  }
   stats.T = out.edt.T_measured;
   stats.clusters = out.edt.clustering.k;
   // Acting as one node per cluster: gather the cluster topology to its
   // center and scatter the local answer back, in parallel across clusters.
-  stats.runtime.charge("cluster solve (gather+scatter, 2D+1)",
-                       2 * out.edt.quality.max_diameter + 1);
+  // Envelope bill: every gather/scatter round moves at most one O(log n)-bit
+  // message per directed intra-cluster edge (the only edges it uses).
+  const std::int64_t intra_directed =
+      2 * (g.m() - out.edt.quality.cut_edges);
+  stats.runtime.charge_envelope("cluster solve (gather+scatter, 2D+1)",
+                                2 * out.edt.quality.max_diameter + 1,
+                                intra_directed);
   return out;
 }
 
@@ -124,7 +132,8 @@ inline SetSolution approx_max_independent_set(const Graph& g, double eps,
       }
     }
   }
-  out.stats.runtime.charge("seam repair (1 round)", 1, conflicts);
+  out.stats.runtime.charge("seam repair (1 round)", 1, conflicts,
+                           conflicts > 0 ? 1 : 0);
   for (int v = 0; v < g.n(); ++v) {
     if (in_set[v]) out.vertices.push_back(v);
   }
@@ -186,7 +195,8 @@ inline SetSolution approx_min_vertex_cover(const Graph& g, double eps,
       }
     }
   }
-  out.stats.runtime.charge("seam repair (1 round)", 1, patched);
+  out.stats.runtime.charge("seam repair (1 round)", 1, patched,
+                           patched > 0 ? 1 : 0);
   for (int v = 0; v < g.n(); ++v) {
     if (in_cover[v]) out.vertices.push_back(v);
   }

@@ -165,7 +165,10 @@ inline CutSolution approx_max_cut(const Graph& g, double eps,
       out.side[sub.to_parent[i]] = side[i];
     }
   }
-  out.stats.runtime.charge("intra-cluster flips (1 round/sweep)", max_passes);
+  // Each flip sweep exchanges one side-bit per directed intra-cluster edge.
+  out.stats.runtime.charge_envelope(
+      "intra-cluster flips (1 round/sweep)", max_passes,
+      2 * (g.m() - dec.edt.quality.cut_edges));
 
   // Cluster-flip refinement: flipping a whole cluster keeps every intra cut
   // and can only be accepted when it gains inter-cluster edges.
@@ -197,7 +200,10 @@ inline CutSolution approx_max_cut(const Graph& g, double eps,
       improved = true;
     }
   }
-  out.stats.runtime.charge("cluster flips (1 round/pass)", flip_passes);
+  // Each pass aggregates cut-edge gains and broadcasts one flip decision —
+  // at most one O(log n)-bit message per directed edge per round.
+  out.stats.runtime.charge_envelope("cluster flips (1 round/pass)",
+                                    flip_passes, 2 * g.m());
 
   out.value = detail::cut_value(g, out.side);
   out.stats.finish();

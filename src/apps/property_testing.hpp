@@ -167,9 +167,9 @@ inline PropertyTestResult test_property(const Graph& g, Family fam,
   const std::int64_t levels = congest::ceil_log2(n);
   const std::int64_t per_level =
       static_cast<std::int64_t>(std::ceil(1.0 / std::max(eps, 1e-9)));
-  out.runtime.charge("verification hierarchy (log n levels x 1/eps)",
-                     levels * per_level);
-  out.runtime.charge("verdict broadcast", levels);
+  out.runtime.charge_envelope("verification hierarchy (log n levels x 1/eps)",
+                              levels * per_level, 2 * g.m());
+  out.runtime.charge_envelope("verdict broadcast", levels, 2 * g.m());
   out.rounds = out.runtime.total();
   return out;
 }

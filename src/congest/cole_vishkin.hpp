@@ -9,6 +9,12 @@
 // iteration shrinks a K-color palette to 2*ceil(log2 K)) plus the six
 // constant rounds of the three shift-down + recolor phases that take the
 // palette from 6 colors to 3.
+//
+// Message accounting is measured, not symbolic: every round each non-root
+// vertex reads its parent's current color, so the round costs exactly one
+// O(log n)-bit message per parent edge — `messages` accumulates
+// forest_edges per round and `max_congestion` is 1 whenever the forest has
+// an edge at all (no directed edge ever carries two colors in one round).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,8 @@ namespace mfd::congest {
 struct ColeVishkinResult {
   std::vector<int> color;  // color[v] in {0, 1, 2}, proper along parent edges
   int rounds = 0;          // simulated CONGEST rounds, O(log* n)
+  std::int64_t messages = 0;        // measured: one per parent edge per round
+  std::int64_t max_congestion = 0;  // 1 whenever the forest has any edge
 };
 
 /// 3-color the rooted forest given by `parent` over vertex set [0, n).
@@ -32,6 +40,8 @@ inline ColeVishkinResult cole_vishkin_3color_forest(
   const auto is_root = [&parent](int v) {
     return parent[v] < 0 || parent[v] == v;
   };
+  std::int64_t forest_edges = 0;
+  for (int v = 0; v < n; ++v) forest_edges += is_root(v) ? 0 : 1;
 
   // Bit-shrinking iterations: each vertex finds the lowest bit where its
   // color differs from its parent's (roots compare against their own color
@@ -49,6 +59,7 @@ inline ColeVishkinResult cole_vishkin_3color_forest(
     }
     c.swap(next);
     ++out.rounds;
+    out.messages += forest_edges;
     big = false;
     for (int v = 0; v < n; ++v) {
       if (c[v] >= 6) {
@@ -82,7 +93,9 @@ inline ColeVishkinResult cole_vishkin_3color_forest(
     }
     c.swap(next);
     out.rounds += 2;
+    out.messages += 2 * forest_edges;
   }
+  if (out.messages > 0) out.max_congestion = 1;
 
   out.color.assign(n, 0);
   for (int v = 0; v < n; ++v) out.color[v] = static_cast<int>(c[v]);

@@ -85,8 +85,10 @@ inline Cs22Result cs22_decompose_and_route(const Graph& g, double eps,
   }
   out.quality = measure_quality(g, out.clustering);
   out.T_measured = static_cast<int>(worst_route);
-  out.ledger.charge("centralized decomposition (symbolic)", 1);
-  out.ledger.charge("expander routing (+T)", out.T_measured);
+  out.ledger.charge_envelope("centralized decomposition (symbolic)", 1,
+                             2 * g.m());
+  out.ledger.charge_envelope("expander routing (+T)", out.T_measured,
+                             2 * g.m());
   return out;
 }
 

@@ -110,9 +110,12 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
       static_cast<std::int64_t>(eps * static_cast<double>(g.m()));
 
   // O(log* n / ε) preprocessing (symbolic charge for the paper's
-  // ruling-set / degree-reduction machinery we simulate centrally).
-  out.ledger.charge("preprocess(log* n / eps)",
-                    log_star(n) * static_cast<std::int64_t>(std::ceil(1.0 / eps)));
+  // ruling-set / degree-reduction machinery we simulate centrally) —
+  // envelope-billed at the CONGEST ceiling of 1 message/directed edge/round.
+  out.ledger.charge_envelope(
+      "preprocess(log* n / eps)",
+      log_star(n) * static_cast<std::int64_t>(std::ceil(1.0 / eps)),
+      2 * g.m());
 
   if (params.chop == EdtChop::kLocalContraction) {
     // Section-4 engine: iterated heavy-stars contraction, no global BFS.
@@ -129,7 +132,7 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     out.merges = local.merges;
     out.T_measured =
         detail::edt_routing_time(g, eps, params.variant, out.quality.max_diameter);
-    out.ledger.charge("routing setup (+T)", out.T_measured);
+    out.ledger.charge_envelope("routing setup (+T)", out.T_measured, 2 * g.m());
     return out;
   }
 
@@ -145,9 +148,12 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     for (int v = 0; v < n; ++v) {
       if (root_of[label[v]] < 0) root_of[label[v]] = v;
     }
-    // Cluster-local BFS levels (one simulated parallel BFS over all clusters).
+    // Cluster-local BFS levels (one simulated parallel BFS over all
+    // clusters). Measured traffic: the BFS wave crosses each intra-cluster
+    // directed edge once.
     std::fill(lev.begin(), lev.end(), -1);
     int max_depth = 0;
+    std::int64_t pass_msgs = 0;
     for (int c = 0; c < k; ++c) {
       const int src = root_of[c];
       lev[src] = 0;
@@ -156,7 +162,9 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
         next.clear();
         for (int u : frontier) {
           for (int nb : g.neighbors(u)) {
-            if (label[nb] == label[u] && lev[nb] < 0) {
+            if (label[nb] != label[u]) continue;
+            ++pass_msgs;  // BFS wave over directed edge (u, nb)
+            if (lev[nb] < 0) {
               lev[nb] = lev[u] + 1;
               max_depth = std::max(max_depth, lev[nb]);
               next.push_back(nb);
@@ -183,10 +191,19 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
         }
       }
       if (!deep) continue;
+      // Distributed cost of the offset choice: every vertex of a deep
+      // cluster learns its neighbors' levels (1 message per intra directed
+      // edge) and convergecasts its w-entry crossing histogram, pipelined
+      // one O(log n)-bit counter per tree edge per round over the w
+      // aggregation rounds charged below.
+      pass_msgs += static_cast<std::int64_t>(w) *
+                   static_cast<std::int64_t>(members[c].size());
       std::fill(offset_cut.begin(), offset_cut.end(), 0);
       for (int u : members[c]) {
         for (int vtx : g.neighbors(u)) {
-          if (label[vtx] == c && u < vtx && lev[u] != lev[vtx]) {
+          if (label[vtx] != c) continue;
+          ++pass_msgs;  // level exchange over directed edge (u, vtx)
+          if (u < vtx && lev[u] != lev[vtx]) {
             const int boundary = (std::min(lev[u], lev[vtx]) + 1) % w;
             ++offset_cut[boundary];
           }
@@ -201,10 +218,21 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
       chopped_any = true;
       for (int v : members[c]) band[v] = (lev[v] + w - best) / w;
     }
+    {
+      // The pass that discovers nothing is choppable still ran its full
+      // BFS/offset verification — a distributed execution pays it, so the
+      // ledger must too (audit() can catch overcounts, never undercounts).
+      const std::int64_t rounds = max_depth + w;
+      const std::string name =
+          chopped_any ? "chop pass " + std::to_string(out.iterations + 1)
+                      : "chop pass (no-op verification)";
+      if (chopped_any || pass_msgs > 0) {
+        out.ledger.charge(name, rounds, pass_msgs,
+                          congest::congestion_floor(pass_msgs, rounds, 2 * g.m()));
+      }
+    }
     if (!chopped_any) break;
     ++out.iterations;
-    out.ledger.charge("chop pass " + std::to_string(out.iterations),
-                      max_depth + w);
 
     // New clusters: connected components of (same label, same band).
     std::vector<int> fresh(n, -1);
@@ -247,6 +275,7 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     };
     std::vector<int> dist(n, -1);
     std::vector<std::vector<int>> rmembers;  // members per current root
+    std::int64_t merge_msgs = 0;  // measured per pass: exchanges + sweeps
     const auto union_ecc_ok = [&](int ra, int rb) {
       std::vector<int> mem(rmembers[ra]);
       mem.insert(mem.end(), rmembers[rb].begin(), rmembers[rb].end());
@@ -260,9 +289,10 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
           next.clear();
           for (int u : frontier) {
             for (int nb : g.neighbors(u)) {
-              if (dist[nb] >= 0) continue;
               const int r = find(label[nb]);
               if (r != ra && r != rb) continue;
+              ++merge_msgs;  // double-sweep wave over directed edge (u, nb)
+              if (dist[nb] >= 0) continue;
               dist[nb] = dist[u] + 1;
               ecc = dist[nb];
               far = nb;
@@ -281,13 +311,17 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     for (int pass = 0; pass < params.max_merge_passes && k_cur > 2; ++pass) {
       std::map<std::pair<int, int>, std::int64_t> weight;
       rmembers.assign(k, {});
+      merge_msgs = 0;
       for (int u = 0; u < n; ++u) {
         const int ru = find(label[u]);
         rmembers[ru].push_back(u);
         for (int vtx : g.neighbors(u)) {
           if (u >= vtx) continue;
           const int rv = find(label[vtx]);
-          if (ru != rv) ++weight[{std::min(ru, rv), std::max(ru, rv)}];
+          if (ru != rv) {
+            ++weight[{std::min(ru, rv), std::max(ru, rv)}];
+            merge_msgs += 2;  // both endpoints exchange root ids
+          }
         }
       }
       std::vector<std::pair<std::int64_t, std::pair<int, int>>> links;
@@ -312,9 +346,18 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
         ++out.merges;
         merged_any = true;
       }
+      // Candidate double-sweeps overlap (failed tests share clusters), so
+      // the peak congestion is the bandwidth floor over the 4w-round budget,
+      // not 1. A pass that merges nothing still paid its weight exchange
+      // and sweeps — charge it before breaking.
+      if (merge_msgs > 0 || merged_any) {
+        out.ledger.charge(
+            merged_any ? "light-link merge pass " + std::to_string(pass + 1)
+                       : "light-link merge pass (no-op verification)",
+            4 * w, merge_msgs,
+            congest::congestion_floor(merge_msgs, 4 * w, 2 * g.m()));
+      }
       if (!merged_any) break;
-      out.ledger.charge("light-link merge pass " + std::to_string(pass + 1),
-                        4 * w);
     }
     if (out.merges > 0) {
       for (int v = 0; v < n; ++v) label[v] = find(label[v]);
@@ -328,7 +371,7 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
 
   out.T_measured =
       detail::edt_routing_time(g, eps, params.variant, out.quality.max_diameter);
-  out.ledger.charge("routing setup (+T)", out.T_measured);
+  out.ledger.charge_envelope("routing setup (+T)", out.T_measured, 2 * g.m());
   return out;
 }
 

@@ -63,7 +63,10 @@ inline ExpanderDecomp expander_decomposition_minor_free(
   ep.exact_diameter_cap = params.edt_exact_diameter_cap;
   EdtDecomposition edt =
       build_edt_decomposition(g, eps * params.edt_eps_share, ep);
-  out.ledger.absorb(edt.ledger, "edt: ");
+  {
+    congest::ChargeScope edt_scope(out.ledger, "edt");
+    edt_scope.absorb(edt.ledger);
+  }
 
   // Split every EDT cluster at phi_target; parts become final clusters.
   std::vector<std::vector<int>> members(edt.clustering.k);
@@ -73,6 +76,7 @@ inline ExpanderDecomp expander_decomposition_minor_free(
   out.clustering.cluster.assign(g.n(), 0);
   int next_id = 0;
   std::int64_t max_split_rounds = 0;
+  std::int64_t split_msgs = 0;
   SweepPartitionParams sp;
   sp.phi_target = out.phi_target;
   sp.power_iters = params.power_iters;
@@ -96,17 +100,21 @@ inline ExpanderDecomp expander_decomposition_minor_free(
       ++next_id;
     }
     // Each split level costs power_iters averaging rounds + an aggregation;
-    // clusters run in parallel, so charge the max, not the sum.
-    max_split_rounds = std::max(
-        max_split_rounds,
+    // clusters run in parallel, so charge the max, not the sum. Every
+    // averaging/aggregation round moves one O(log n)-bit value per directed
+    // intra-cluster edge, so messages sum the per-cluster round * edge
+    // products while congestion stays 1 (clusters are vertex-disjoint).
+    const std::int64_t cluster_rounds =
         static_cast<std::int64_t>(std::max(parts.levels, 1)) *
-            (params.power_iters +
-             static_cast<std::int64_t>(std::ceil(std::log2(
-                 std::max<double>(static_cast<double>(members[c].size()), 2.0))))));
+        (params.power_iters +
+         static_cast<std::int64_t>(std::ceil(std::log2(
+             std::max<double>(static_cast<double>(members[c].size()), 2.0)))));
+    max_split_rounds = std::max(max_split_rounds, cluster_rounds);
+    split_msgs += cluster_rounds * 2 * sub.graph.m();
   }
   out.clustering.k = next_id;
   out.ledger.charge("split: fiedler sweeps (max over clusters)",
-                    max_split_rounds);
+                    max_split_rounds, split_msgs, split_msgs > 0 ? 1 : 0);
   return out;
 }
 

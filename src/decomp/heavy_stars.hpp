@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "congest/cole_vishkin.hpp"
+#include "congest/runtime.hpp"
 #include "graph/weighted.hpp"
 
 namespace mfd::decomp {
@@ -47,6 +48,14 @@ struct HeavyStarsResult {
   int cv_rounds = 0;                 // Cole–Vishkin rounds (O(log* n))
   int rounds = 0;                    // total simulated rounds incl. cv_rounds
   int max_marked_depth = 0;          // deepest marked tree (Lemma 4.3: <= 4)
+  // Measured bandwidth per phase (ledger.total() == rounds):
+  //   pointing          1 round, 1 pointer id per directed edge;
+  //   cole-vishkin      cv rounds, 1 color per pointer-forest edge per round;
+  //   bipartition vote  1 round, the six class sums per forest edge;
+  //   star formation    1 round, 1 bit-decision per kept edge.
+  congest::Runtime ledger;
+  std::int64_t messages = 0;        // == ledger.total_messages()
+  std::int64_t max_congestion = 0;  // == ledger.peak_congestion()
 };
 
 inline HeavyStarsResult heavy_stars(const WeightedGraph& g) {
@@ -147,7 +156,24 @@ inline HeavyStarsResult heavy_stars(const WeightedGraph& g) {
 
   // Rounds: 1 pointing round, the Cole–Vishkin phase, 1 round to agree on
   // the best bipartition (a constant-size aggregate), 1 star-formation round.
+  // Messages are measured per phase: the pointing round sends one pointer id
+  // per directed edge; each Cole–Vishkin round sends one color per
+  // pointer-forest edge; the vote converges the six candidate class sums
+  // over the forest (six O(log n)-bit values per forest edge in one round);
+  // star formation sends one keep/drop decision per kept edge.
+  std::int64_t forest_edges = 0;
+  for (int v = 0; v < n; ++v) forest_edges += parent[v] >= 0 ? 1 : 0;
+  std::int64_t kept_edges = 0;
+  for (int v = 0; v < n; ++v) kept_edges += out.kept_parent[v] >= 0 ? 1 : 0;
+  const std::int64_t directed = 2 * g.m();
+  out.ledger.charge("pointing", 1, directed, directed > 0 ? 1 : 0);
+  out.ledger.charge("cole-vishkin", cv.rounds, cv.messages, cv.max_congestion);
+  out.ledger.charge("bipartition vote", 1, 6 * forest_edges,
+                    forest_edges > 0 ? 6 : 0);
+  out.ledger.charge("star formation", 1, kept_edges, kept_edges > 0 ? 1 : 0);
   out.rounds = 1 + out.cv_rounds + 2;
+  out.messages = out.ledger.total_messages();
+  out.max_congestion = out.ledger.peak_congestion();
   return out;
 }
 

@@ -79,7 +79,9 @@ inline MpxLdd ldd_mpx(const Graph& g, double eps, Rng& rng) {
   out.clustering.compact();
   out.quality = measure_quality(g, out.clustering);
   out.rounds = static_cast<int>(std::ceil(max_shift)) + max_hops;
-  out.ledger.charge("shifted BFS", out.rounds);
+  // The shifted-BFS wave carries one O(log n)-bit (center, key) message per
+  // directed edge per round at most — envelope-billed.
+  out.ledger.charge_envelope("shifted BFS", out.rounds, 2 * g.m());
   return out;
 }
 

@@ -11,6 +11,15 @@
 // the level count — and hence the overlap c, since a vertex joins at most
 // one cluster per level — stays O(log 1/ε), the paper's bound.
 //
+// The level count stays O(log 1/ε) only if every level actually halves its
+// uncovered-edge set. By default that halving is *measured* (the paper's
+// bound holds empirically); with OverlapDecompParams::budgeted it is
+// *enforced*: a level that leaves more than half of its edges uncovered is
+// re-partitioned at half the level ε (up to budget_retries times), and a
+// level that still misses its budget is recorded in
+// OverlapDecompResult::budget_violations so the evaluate_overlap audit
+// fails loudly instead of silently recursing past the level cap.
+//
 // evaluate_overlap audits all three guarantees on the finished object;
 // min_support_phi_lower reuses graph/metrics.hpp::phi_certificate (exact
 // for tiny supports, Cheeger-estimate otherwise).
@@ -19,7 +28,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "decomp/clustering.hpp"
@@ -41,6 +52,12 @@ struct OverlapDecompParams {
   double level_eps = 0.5;  // per-level cut target handed to the partition
   int max_levels = 0;      // 0 derives ceil(log2(1/eps)) + 2
   int min_level_edges = 1; // stop once fewer uncovered edges remain
+  // Enforce the per-level halving instead of measuring it: a level leaving
+  // more than half of its edges uncovered is re-run at level_eps/2 (then /4,
+  // ...) up to budget_retries times; a level that still overshoots lands in
+  // OverlapDecompResult::budget_violations.
+  bool budgeted = false;
+  int budget_retries = 3;
   ExpanderDecompParams expander;
 };
 
@@ -50,6 +67,13 @@ struct OverlapDecompResult {
   double phi_target = 0.0; // the level-0 conductance target
   congest::Runtime ledger; // phase-attributed simulated CONGEST rounds
   std::int64_t uncovered_edges = 0;
+  // Per-level audit trail: edges entering each level and edges its partition
+  // left uncovered. budget_violations lists levels that kept > 1/2 of their
+  // edges uncovered even after the budgeted retries (always empty unless the
+  // instance defeats the retry ladder).
+  std::vector<std::int64_t> level_edges;
+  std::vector<std::int64_t> level_uncovered;
+  std::vector<int> budget_violations;
 };
 
 inline OverlapDecompResult overlap_expander_decomposition(
@@ -88,12 +112,47 @@ inline OverlapDecompResult overlap_expander_decomposition(
     const Graph h =
         Graph::from_edges(static_cast<int>(verts.size()), std::move(ledges));
 
-    const ExpanderDecomp ed =
-        expander_decomposition_minor_free(h, params.level_eps, params.expander);
+    // The level's charges (partition pipeline + any budgeted retries) close
+    // into the ledger under one "level L: " prefix, full phase breakdown
+    // preserved — the bench per-phase table shows "level 0: edt: ...".
+    congest::ChargeScope scope(out.ledger, "level " + std::to_string(level));
+    const auto still_uncovered = [&](const ExpanderDecomp& e) {
+      std::vector<std::pair<int, int>> still;
+      for (const auto& [u, v] : uncovered) {
+        if (e.clustering.cluster[local[u]] != e.clustering.cluster[local[v]]) {
+          still.emplace_back(u, v);
+        }
+      }
+      return still;
+    };
+
+    double lvl_eps = params.level_eps;
+    ExpanderDecomp ed =
+        expander_decomposition_minor_free(h, lvl_eps, params.expander);
+    scope.absorb(ed.ledger);
+    std::vector<std::pair<int, int>> still = still_uncovered(ed);
+    if (params.budgeted) {
+      // Enforced halving: re-partition at half the level ε until at most
+      // half of the level's edges stay uncovered (or retries run out).
+      for (int retry = 1;
+           retry <= params.budget_retries &&
+           2 * static_cast<std::int64_t>(still.size()) >
+               static_cast<std::int64_t>(uncovered.size());
+           ++retry) {
+        lvl_eps /= 2.0;
+        ed = expander_decomposition_minor_free(h, lvl_eps, params.expander);
+        scope.absorb(ed.ledger, "retry " + std::to_string(retry) + ": ");
+        still = still_uncovered(ed);
+      }
+      if (2 * static_cast<std::int64_t>(still.size()) >
+          static_cast<std::int64_t>(uncovered.size())) {
+        out.budget_violations.push_back(level);
+      }
+    }
     if (level == 0) out.phi_target = ed.phi_target;
-    out.ledger.charge("level " + std::to_string(level) + " partition",
-                      ed.ledger.total());
     ++out.iterations;
+    out.level_edges.push_back(static_cast<std::int64_t>(uncovered.size()));
+    out.level_uncovered.push_back(static_cast<std::int64_t>(still.size()));
 
     std::vector<std::vector<int>> cluster_members(ed.clustering.k);
     for (int i = 0; i < h.n(); ++i) {
@@ -101,12 +160,6 @@ inline OverlapDecompResult overlap_expander_decomposition(
     }
     for (auto& mem : cluster_members) {
       if (!mem.empty()) out.oc.members.push_back(std::move(mem));
-    }
-    std::vector<std::pair<int, int>> still;
-    for (const auto& [u, v] : uncovered) {
-      if (ed.clustering.cluster[local[u]] != ed.clustering.cluster[local[v]]) {
-        still.emplace_back(u, v);
-      }
     }
     uncovered = std::move(still);
   }
@@ -117,10 +170,15 @@ inline OverlapDecompResult overlap_expander_decomposition(
 /// Audited quality of an overlap decomposition. base.eps_fraction counts
 /// edges covered by NO cluster; base.cut_edges is that count; base's
 /// diameter/size/connectivity fields describe the cluster supports.
+/// level_budget_ok is only meaningful when the audit is given the
+/// construction result (the overload below): it verifies every level left
+/// at most half of its edges uncovered — the budget that caps the level
+/// count (and hence the overlap c) at O(log 1/ε).
 struct OverlapQuality {
   ClusterQuality base;
   int overlap_c = 0;                  // max clusters sharing one vertex
   double min_support_phi_lower = 1.0; // min certified support conductance
+  bool level_budget_ok = true;        // per-level halving held (see above)
 };
 
 inline OverlapQuality evaluate_overlap(const Graph& g,
@@ -169,6 +227,35 @@ inline OverlapQuality evaluate_overlap(const Graph& g,
       }
     }
     q.base.max_diameter = std::max(q.base.max_diameter, diam);
+  }
+  return q;
+}
+
+/// Audit overload for a full construction result: the clustering checks
+/// above plus the per-level halving budget, which FAILS LOUDLY — every
+/// violated level is reported on stderr and level_budget_ok goes false —
+/// so a run that silently blew its level budget cannot pass a bench or
+/// test that audits it.
+inline OverlapQuality evaluate_overlap(const Graph& g,
+                                       const OverlapDecompResult& result,
+                                       int exact_phi_cap = 12) {
+  OverlapQuality q = evaluate_overlap(g, result.oc, exact_phi_cap);
+  for (std::size_t level = 0; level < result.level_edges.size(); ++level) {
+    if (2 * result.level_uncovered[level] > result.level_edges[level]) {
+      q.level_budget_ok = false;
+      std::fprintf(stderr,
+                   "evaluate_overlap: level %zu left %lld of %lld edges "
+                   "uncovered (> 1/2 budget)\n",
+                   level, static_cast<long long>(result.level_uncovered[level]),
+                   static_cast<long long>(result.level_edges[level]));
+    }
+  }
+  for (int level : result.budget_violations) {
+    q.level_budget_ok = false;
+    std::fprintf(stderr,
+                 "evaluate_overlap: budgeted construction exhausted retries "
+                 "at level %d\n",
+                 level);
   }
   return q;
 }

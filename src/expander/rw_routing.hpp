@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "congest/runtime.hpp"
 #include "decomp/clustering.hpp"
 #include "expander/split.hpp"
 
@@ -188,8 +189,9 @@ struct SimTargets {
 };
 
 /// Reference engine: run every walk for up to `T` rounds under seed `seed`,
-/// one walk at a time, counting per-round directed-edge congestion. Stops
-/// early once the target fraction is in.
+/// one walk at a time, metering per-round directed-edge congestion through
+/// congest::MessageMeter (every token move is one O(log n)-bit message over
+/// its edge slot). Stops early once the target fraction is in.
 inline SimOutcome simulate_serial(const Arena& a, std::uint64_t seed, int T,
                                   double laziness, double target_fraction) {
   SimOutcome out;
@@ -200,13 +202,11 @@ inline SimOutcome simulate_serial(const Arena& a, std::uint64_t seed, int T,
   const SimTargets targets(a, target_fraction);
   const auto lazy_cut =
       static_cast<std::uint32_t>(laziness * 4294967296.0);
-  std::vector<int> slot_load(a.slots, 0);
-  std::vector<int> touched;
+  congest::MessageMeter meter(a.slots);
   for (int t = 1; t <= T; ++t) {
     if (static_cast<double>(delivered_walks) >= targets.walk_target_scaled) {
       break;
     }
-    int max_load = 0;
     bool any_active = false;
     for (std::size_t w = 0; w < pos.size(); ++w) {
       if (!active[w]) continue;
@@ -218,10 +218,7 @@ inline SimOutcome simulate_serial(const Arena& a, std::uint64_t seed, int T,
       const int deg = static_cast<int>(a.nbr[u].size());
       if (deg == 0) continue;
       const int j = static_cast<int>((z & 0xffffffffULL) % deg);
-      const int s = a.slot[u][j];
-      if (slot_load[s]++ == 0) touched.push_back(s);
-      max_load = std::max(max_load, slot_load[s]);
-      ++out.moves;
+      meter.send(a.slot[u][j]);
       pos[w] = a.nbr[u][j];
       if (pos[w] == a.star) {
         active[w] = 0;
@@ -231,14 +228,14 @@ inline SimOutcome simulate_serial(const Arena& a, std::uint64_t seed, int T,
     }
     if (!any_active) break;
     ++out.walk_rounds;
-    out.rounds += std::max(1, max_load);
-    out.peak_load = std::max<std::int64_t>(out.peak_load, max_load);
-    for (int s : touched) slot_load[s] = 0;
-    touched.clear();
+    out.rounds += std::max<std::int64_t>(1, meter.round_peak());
+    meter.end_round();
   }
   for (std::size_t w = 0; w < pos.size(); ++w) {
     if (out.route[w] < 0) out.route[w] = pos[w];
   }
+  out.moves = meter.total_messages();
+  out.peak_load = meter.peak_congestion();
   targets.finish(a, delivered_walks, out);
   return out;
 }
@@ -263,13 +260,11 @@ inline SimOutcome simulate_batched(const Arena& a, std::uint64_t seed, int T,
   for (std::size_t w = 0; w < a.start.size(); ++w) {
     bucket[a.start[w]].push_back(static_cast<int>(w));
   }
-  std::vector<int> slot_load(a.slots, 0);
-  std::vector<int> touched;
+  congest::MessageMeter meter(a.slots);
   for (int t = 1; t <= T; ++t) {
     if (static_cast<double>(delivered_walks) >= targets.walk_target_scaled) {
       break;
     }
-    int max_load = 0;
     bool any_active = false;
     for (int u = 0; u < k; ++u) {
       if (bucket[u].empty()) continue;
@@ -285,10 +280,7 @@ inline SimOutcome simulate_batched(const Arena& a, std::uint64_t seed, int T,
           continue;
         }
         const int j = static_cast<int>((z & 0xffffffffULL) % deg);
-        const int s = slots[j];
-        if (slot_load[s]++ == 0) touched.push_back(s);
-        max_load = std::max(max_load, slot_load[s]);
-        ++out.moves;
+        meter.send(slots[j]);
         const int v = nbrs[j];
         pos[w] = v;
         if (v == a.star) {
@@ -302,15 +294,15 @@ inline SimOutcome simulate_batched(const Arena& a, std::uint64_t seed, int T,
     }
     if (!any_active) break;
     ++out.walk_rounds;
-    out.rounds += std::max(1, max_load);
-    out.peak_load = std::max<std::int64_t>(out.peak_load, max_load);
-    for (int s : touched) slot_load[s] = 0;
-    touched.clear();
+    out.rounds += std::max<std::int64_t>(1, meter.round_peak());
+    meter.end_round();
     bucket.swap(next_bucket);
   }
   for (std::size_t w = 0; w < pos.size(); ++w) {
     if (out.route[w] < 0) out.route[w] = pos[w];
   }
+  out.moves = meter.total_messages();
+  out.peak_load = meter.peak_congestion();
   targets.finish(a, delivered_walks, out);
   return out;
 }

@@ -92,12 +92,16 @@ inline ExpanderSplit expander_split(const Graph& g, Rng& rng,
   for (int v = 0; v < n; ++v) out.part_volume[out.parts.cluster[v]] += out.ideg[v];
 
   // Each recursion level is one distributed sweep: power_iters rounds of
-  // local averaging plus a prefix-selection aggregation.
-  out.ledger.charge("fiedler sweeps",
-                    static_cast<std::int64_t>(std::max(partition.levels, 1)) *
-                        (params.power_iters +
-                         static_cast<std::int64_t>(std::ceil(
-                             std::log2(static_cast<double>(std::max(n, 2)))))));
+  // local averaging plus a prefix-selection aggregation. Every such round
+  // moves one O(log n)-bit value per directed edge, so the phase is
+  // envelope-billed at that per-round ceiling.
+  out.ledger.charge_envelope(
+      "fiedler sweeps",
+      static_cast<std::int64_t>(std::max(partition.levels, 1)) *
+          (params.power_iters +
+           static_cast<std::int64_t>(std::ceil(
+               std::log2(static_cast<double>(std::max(n, 2)))))),
+      2 * g.m());
   return out;
 }
 
