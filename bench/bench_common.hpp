@@ -49,6 +49,11 @@ inline Graph make_family(const std::string& name, int n, Rng& rng) {
     while (side * side < n) ++side;
     return grid_graph(side, side);
   }
+  if (name == "torus") {
+    int side = 3;
+    while (side * side < n) ++side;
+    return torus_graph(side, side);
+  }
   if (name == "outerplanar") return random_maximal_outerplanar(n, rng);
   if (name == "tree") return random_tree(n, rng);
   if (name == "cycle") return cycle_graph(n);

@@ -101,10 +101,22 @@ class MessageMeter {
 
   /// Record `count` messages crossing directed slot `s` in the open round;
   /// returns the slot's load so far this round.
+  ///
+  /// Contract for non-positive counts: metering is monotone, so count <= 0
+  /// is a no-op QUERY — it records nothing, does not mark the slot as
+  /// touched (touched_ means "nonzero load this round"; the sharded merge
+  /// in congest/shard.hpp and per-round cleanup both rely on that being
+  /// literally true), and negative counts never un-send traffic. The return
+  /// value is still the slot's load so far this round, so send(s, 0) reads
+  /// a slot's open-round load without perturbing the meter.
   std::int64_t send(std::int64_t s, std::int64_t count = 1) {
+    const bool tracked = s >= 0 && s < static_cast<std::int64_t>(load_.size());
+    if (count <= 0) {
+      return tracked ? load_[static_cast<std::size_t>(s)] : 0;
+    }
     messages_ += count;
     std::int64_t slot_load = count;
-    if (s >= 0 && s < static_cast<std::int64_t>(load_.size())) {
+    if (tracked) {
       if (load_[static_cast<std::size_t>(s)] == 0) touched_.push_back(s);
       slot_load = load_[static_cast<std::size_t>(s)] += count;
     }

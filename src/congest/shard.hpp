@@ -1,0 +1,272 @@
+// The sharded per-round engine: vertex work inside a simulated CONGEST round
+// is embarrassingly parallel (rounds are synchronous barriers), so the hot
+// simulation paths — heavy-stars pointing, the LDD merge/BFS sweeps, the
+// rw_routing walk rounds — partition their vertices across a thread pool and
+// meet at a barrier per round.
+//
+// Three pieces, shared by every sharded engine in the tree:
+//
+//   * ShardPlan — the contiguous even partition of [0, n). Contiguity is
+//     load-bearing: CSR adjacency and MessageMeter slot ids are both laid
+//     out in vertex order, so a contiguous vertex slice owns a contiguous
+//     slot slice, and per-task outputs concatenated in task order reproduce
+//     the serial iteration order exactly.
+//   * ShardPool — a persistent pool of worker threads. run(tasks, fn) calls
+//     fn(task, worker) for every task index, claims tasks dynamically (so
+//     skewed cluster sizes still balance), and barriers before returning.
+//     With one thread the loop runs inline on the caller — the serial
+//     reference path and the sharded path share one code body.
+//   * ShardedMeter — congest::MessageMeter split into per-shard lanes.
+//     Each lane owns a contiguous slot slice and is only ever written by its
+//     owning shard, so metering is race-free without atomics; merging the
+//     lanes (totals summed, peaks maxed) reproduces the serial meter's
+//     totals BIT-IDENTICALLY, which is what lets Runtime::audit() keep the
+//     PR-5 invariants (conservation, messages <= rounds * edges * peak,
+//     charge order) exact under sharding.
+//
+// Determinism contract: every sharded engine must produce results equal to
+// its serial reference for EVERY shard count. The engines only parallelize
+// loops whose per-vertex effects are independent (pointing, relabeling),
+// whose reductions are integer sums/maxes (associative and commutative, so
+// task grouping cannot change them), or whose cross-shard traffic is
+// exchanged through double-buffered outboxes drained in shard order.
+// tests/test_shard.cpp sweeps shard counts {1, 2, 7, hardware} and asserts
+// bit-identical outputs against the serial engines.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "congest/runtime.hpp"
+
+namespace mfd::congest {
+
+/// Contiguous even partition of [0, n) into `shards` slices. Slice s is
+/// [begin(s), end(s)); sizes differ by at most one.
+struct ShardPlan {
+  int n = 0;
+  int shards = 1;
+
+  ShardPlan() = default;
+  ShardPlan(int n_, int shards_)
+      : n(std::max(n_, 0)), shards(std::max(shards_, 1)) {}
+
+  int begin(int s) const {
+    return static_cast<int>(static_cast<std::int64_t>(n) * s / shards);
+  }
+  int end(int s) const { return begin(s + 1); }
+};
+
+/// Persistent worker pool. Construct once per engine run (thread startup is
+/// not free); run() executes fn(task, worker) for task in [0, tasks) with
+/// dynamic task claiming, worker in [0, threads()), and returns only after
+/// every task finished (the per-round barrier). threads() == 1 executes
+/// inline with no synchronization at all — the serial reference path.
+class ShardPool {
+ public:
+  /// threads <= 0 asks for std::thread::hardware_concurrency().
+  explicit ShardPool(int threads = 0) {
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    threads_ = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  ~ShardPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  int threads() const { return threads_; }
+
+  /// Execute fn(task, worker) for every task in [0, tasks); blocks until all
+  /// tasks are done. The calling thread participates as worker 0. Reentrant
+  /// calls (fn itself calling run) are not supported.
+  void run(int tasks, const std::function<void(int task, int worker)>& fn) {
+    if (tasks <= 0) return;
+    if (threads_ == 1) {
+      for (int t = 0; t < tasks; ++t) fn(t, 0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      tasks_ = tasks;
+      next_task_.store(0, std::memory_order_relaxed);
+      idle_ = 0;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    drain(0);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return idle_ == threads_ - 1; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void drain(int worker) {
+    for (;;) {
+      const int t = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks_) break;
+      (*fn_)(t, worker);
+    }
+  }
+
+  void worker_loop(int worker) {
+    std::int64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      drain(worker);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++idle_;
+      }
+      cv_done_.notify_one();
+    }
+  }
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_done_;
+  const std::function<void(int, int)>* fn_ = nullptr;
+  int tasks_ = 0;
+  std::atomic<int> next_task_{0};
+  int idle_ = 0;
+  std::int64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// congest::MessageMeter split into per-shard lanes. Lane s owns the global
+/// slot slice [slot_begin[s], slot_begin[s+1]) and must be the ONLY shard
+/// that calls send(s, ...) for slots in that slice — engines shard traffic
+/// by source vertex, and slot ids are assigned in source-vertex order, so
+/// ownership is automatic. Lanes are cache-line padded; no atomics.
+///
+/// Merge semantics (the serial-equivalence contract): a round's global peak
+/// is the max over lanes of the lane's open-round peak, because every slot
+/// lives in exactly one lane; total messages is the sum over lanes; the
+/// whole-run peak is the max over rounds of the per-round global peaks.
+/// These merged views equal, bit for bit, what one serial MessageMeter fed
+/// the same traffic would report — Runtime charges read the merged values,
+/// so Runtime::audit() sees sharding-invariant numbers.
+class ShardedMeter {
+ public:
+  ShardedMeter() = default;
+
+  /// slot_begin has size shards+1, ascending; lane s covers global slots
+  /// [slot_begin[s], slot_begin[s+1]).
+  explicit ShardedMeter(std::vector<std::int64_t> slot_begin)
+      : slot_begin_(std::move(slot_begin)) {
+    const int shards =
+        std::max(1, static_cast<int>(slot_begin_.size()) - 1);
+    lanes_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      const std::int64_t lo = slot_index(s);
+      const std::int64_t hi = slot_index(s + 1);
+      lanes_.emplace_back(std::max<std::int64_t>(hi - lo, 0), lo);
+    }
+  }
+
+  int shards() const { return static_cast<int>(lanes_.size()); }
+
+  /// Record `count` messages on global slot `s` from its owning shard.
+  /// Same contract as MessageMeter::send (count <= 0 is a no-op query).
+  std::int64_t send(int shard, std::int64_t s, std::int64_t count = 1) {
+    Lane& lane = lanes_[static_cast<std::size_t>(shard)];
+    return lane.meter.send(s - lane.offset, count);
+  }
+
+  /// Peak per-slot load of the open round, merged over lanes. Only valid
+  /// between barriers (no shard may be mid-send).
+  std::int64_t round_peak() const {
+    std::int64_t p = 0;
+    for (const Lane& lane : lanes_) p = std::max(p, lane.meter.round_peak());
+    return p;
+  }
+
+  /// Close the open round on every lane (call from the coordinator, at the
+  /// barrier). Advances the merged round count by one.
+  void end_round() {
+    for (Lane& lane : lanes_) lane.meter.end_round();
+    ++rounds_;
+  }
+
+  std::int64_t rounds() const { return rounds_; }
+
+  /// Merged totals — equal to a serial MessageMeter fed the same traffic.
+  std::int64_t total_messages() const {
+    std::int64_t t = 0;
+    for (const Lane& lane : lanes_) t += lane.meter.total_messages();
+    return t;
+  }
+  std::int64_t peak_congestion() const {
+    std::int64_t p = 0;
+    for (const Lane& lane : lanes_) {
+      p = std::max(p, lane.meter.peak_congestion());
+    }
+    return p;
+  }
+
+  /// Per-lane message totals — the merge trail bench_scale publishes so
+  /// scripts/check_bench_json.py can re-derive the merged total offline.
+  std::int64_t shard_messages(int s) const {
+    return lanes_[static_cast<std::size_t>(s)].meter.total_messages();
+  }
+
+ private:
+  std::int64_t slot_index(int i) const {
+    if (slot_begin_.empty()) return 0;
+    i = std::min(i, static_cast<int>(slot_begin_.size()) - 1);
+    return slot_begin_[static_cast<std::size_t>(i)];
+  }
+
+  struct alignas(64) Lane {
+    MessageMeter meter;
+    std::int64_t offset = 0;
+    Lane(std::int64_t slots, std::int64_t offset_)
+        : meter(slots), offset(offset_) {}
+  };
+
+  std::vector<std::int64_t> slot_begin_;
+  std::vector<Lane> lanes_;
+  std::int64_t rounds_ = 0;
+};
+
+/// Convenience: run fn(lo, hi, task) over an even contiguous partition of
+/// [0, n) — the shape of every per-vertex sharded loop. Per-task outputs
+/// indexed by `task` and folded in task order reproduce serial order.
+inline void parallel_ranges(ShardPool& pool, int n, int tasks,
+                            const std::function<void(int, int, int)>& fn) {
+  tasks = std::max(1, tasks);
+  const ShardPlan plan(n, tasks);
+  pool.run(tasks, [&](int t, int /*worker*/) {
+    const int lo = plan.begin(t);
+    const int hi = plan.end(t);
+    if (lo < hi) fn(lo, hi, t);
+  });
+}
+
+}  // namespace mfd::congest

@@ -65,6 +65,11 @@ struct EdtParams {
   // refinement.
   double merge_filter_c = 32.0;
   int max_merge_passes = 4;  // merge sweeps over the link list
+  // Sharded round engine (kLocalContraction only): forwarded to
+  // LocalLddParams::threads. 1 = serial reference; results are bit-identical
+  // for every value (see congest/shard.hpp).
+  int threads = 1;
+  congest::ShardPool* pool = nullptr;  // optional lent pool (benches reuse one)
 };
 
 /// Output of build_edt_decomposition (Theorem 1.1 / Corollary 6.1).
@@ -124,6 +129,8 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     LocalLddParams lp;
     lp.ecc_cap = 2 * w;
     lp.eval.exact_cap = params.exact_diameter_cap;
+    lp.threads = params.threads;
+    lp.pool = params.pool;
     LocalLdd local = ldd_minor_free_local(g, eps, lp);
     out.ledger.absorb(local.ledger);
     out.clustering = std::move(local.clustering);

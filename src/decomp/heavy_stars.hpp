@@ -24,12 +24,15 @@
 // bit for bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "congest/cole_vishkin.hpp"
 #include "congest/runtime.hpp"
+#include "congest/shard.hpp"
 #include "graph/weighted.hpp"
 
 namespace mfd::decomp {
@@ -58,37 +61,58 @@ struct HeavyStarsResult {
   std::int64_t max_congestion = 0;  // == ledger.peak_congestion()
 };
 
-inline HeavyStarsResult heavy_stars(const WeightedGraph& g) {
+/// Sharded when given a pool: the per-vertex phases (pointing, rooting,
+/// class sums, star formation, labeling) partition vertices across the pool
+/// with a barrier between phases — exactly the synchronous-round structure a
+/// CONGEST implementation has anyway. All reductions are integer sums/maxes,
+/// so the result is bit-identical to the serial run for every thread count
+/// (tests/test_shard.cpp sweeps {1, 2, 7, hardware}).
+inline HeavyStarsResult heavy_stars(const WeightedGraph& g,
+                                    congest::ShardPool* pool = nullptr) {
   HeavyStarsResult out;
   const int n = g.n();
   out.total_weight = g.total_weight();
   out.star.assign(n, 0);
   out.kept_parent.assign(n, -1);
+  const int tasks = pool != nullptr ? pool->threads() : 1;
+  // Each phase below runs fn(lo, hi, task) over an even contiguous vertex
+  // partition — inline when serial, across the pool when sharded.
+  const auto for_ranges = [&](const std::function<void(int, int, int)>& fn) {
+    if (pool == nullptr || pool->threads() == 1) {
+      if (n > 0) fn(0, n, 0);
+    } else {
+      congest::parallel_ranges(*pool, n, tasks, fn);
+    }
+  };
 
   // 1. Point across the heaviest incident edge (tie: smaller neighbor id).
   std::vector<int> pick(n, -1);
   std::vector<std::int64_t> pick_w(n, 0);
-  for (int v = 0; v < n; ++v) {
-    std::int64_t best_w = -1;
-    int best_to = -1;
-    for (const auto& a : g.arcs(v)) {
-      if (a.w > best_w || (a.w == best_w && a.to < best_to)) {
-        best_w = a.w;
-        best_to = a.to;
+  for_ranges([&](int lo, int hi, int) {
+    for (int v = lo; v < hi; ++v) {
+      std::int64_t best_w = -1;
+      int best_to = -1;
+      for (const auto& a : g.arcs(v)) {
+        if (a.w > best_w || (a.w == best_w && a.to < best_to)) {
+          best_w = a.w;
+          best_to = a.to;
+        }
       }
+      pick[v] = best_to;
+      if (best_to >= 0) pick_w[v] = best_w;
     }
-    pick[v] = best_to;
-    if (best_to >= 0) pick_w[v] = best_w;
-  }
+  });
 
   // 2. Root each pointer component at the larger endpoint of its 2-cycle.
   std::vector<int> parent(n, -1);
-  for (int v = 0; v < n; ++v) {
-    const int u = pick[v];
-    if (u < 0) continue;                 // isolated vertex
-    if (pick[u] == v && u < v) continue; // v is the root of its 2-cycle
-    parent[v] = u;
-  }
+  for_ranges([&](int lo, int hi, int) {
+    for (int v = lo; v < hi; ++v) {
+      const int u = pick[v];
+      if (u < 0) continue;                 // isolated vertex
+      if (pick[u] == v && u < v) continue; // v is the root of its 2-cycle
+      parent[v] = u;
+    }
+  });
 
   // 3. Cole–Vishkin 3-coloring of the pointer forest.
   const congest::ColeVishkinResult cv =
@@ -97,12 +121,29 @@ inline HeavyStarsResult heavy_stars(const WeightedGraph& g) {
 
   // Weight of each (child color, parent color) class, 2-cycle edges apart.
   // A vertex's parent edge IS its pick, so its weight is pick_w[v].
+  // Sharded: per-task 3x3 partials folded in task order (integer sums, so
+  // the fold equals the serial accumulation exactly).
   std::int64_t class_w[3][3] = {};
-  for (int v = 0; v < n; ++v) {
-    const int p = parent[v];
-    if (p < 0) continue;
-    if (pick[p] == v && parent[p] < 0) continue;  // 2-cycle edge, always kept
-    class_w[cv.color[v]][cv.color[p]] += pick_w[v];
+  {
+    std::vector<std::array<std::int64_t, 9>> partial(
+        static_cast<std::size_t>(tasks), std::array<std::int64_t, 9>{});
+    for_ranges([&](int lo, int hi, int task) {
+      auto& acc = partial[static_cast<std::size_t>(task)];
+      for (int v = lo; v < hi; ++v) {
+        const int p = parent[v];
+        if (p < 0) continue;
+        if (pick[p] == v && parent[p] < 0) continue;  // 2-cycle edge, kept
+        acc[static_cast<std::size_t>(3 * cv.color[v] + cv.color[p])] +=
+            pick_w[v];
+      }
+    });
+    for (const auto& acc : partial) {
+      for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) {
+          class_w[a][b] += acc[static_cast<std::size_t>(3 * a + b)];
+        }
+      }
+    }
   }
   // Best of the six leaf/center bipartitions of {0, 1, 2}: captured classes
   // are (a in L, b not in L); every class lands in exactly 2 of the 6 masks.
@@ -123,16 +164,24 @@ inline HeavyStarsResult heavy_stars(const WeightedGraph& g) {
 
   // Keep: 2-cycle edges + parent edges with leaf-colored child and
   // center-colored parent. kept_parent records the marked-tree structure.
-  for (int v = 0; v < n; ++v) {
-    const int p = parent[v];
-    if (p < 0) continue;
-    const bool two_cycle = pick[p] == v && parent[p] < 0;
-    const bool leaf_center = (best_mask >> cv.color[v] & 1) &&
-                             !(best_mask >> cv.color[p] & 1);
-    if (two_cycle || leaf_center) {
-      out.kept_parent[v] = p;
-      out.captured_weight += pick_w[v];
-    }
+  {
+    std::vector<std::int64_t> captured(static_cast<std::size_t>(tasks), 0);
+    for_ranges([&](int lo, int hi, int task) {
+      std::int64_t cap = 0;
+      for (int v = lo; v < hi; ++v) {
+        const int p = parent[v];
+        if (p < 0) continue;
+        const bool two_cycle = pick[p] == v && parent[p] < 0;
+        const bool leaf_center = (best_mask >> cv.color[v] & 1) &&
+                                 !(best_mask >> cv.color[p] & 1);
+        if (two_cycle || leaf_center) {
+          out.kept_parent[v] = p;
+          cap += pick_w[v];
+        }
+      }
+      captured[static_cast<std::size_t>(task)] = cap;
+    });
+    for (std::int64_t cap : captured) out.captured_weight += cap;
   }
 
   // Stars = components of the kept forest; label by the top vertex and
@@ -145,14 +194,26 @@ inline HeavyStarsResult heavy_stars(const WeightedGraph& g) {
     }
     return std::pair<int, int>{v, depth};
   };
-  std::vector<char> is_top(n, 1);
-  for (int v = 0; v < n; ++v) {
-    const auto [top, depth] = top_of(v);
-    out.star[v] = top;
-    if (depth > 0) is_top[v] = 0;
-    if (depth > out.max_marked_depth) out.max_marked_depth = depth;
+  {
+    std::vector<int> tops(static_cast<std::size_t>(tasks), 0);
+    std::vector<int> depth_max(static_cast<std::size_t>(tasks), 0);
+    for_ranges([&](int lo, int hi, int task) {
+      int local_tops = 0, local_depth = 0;
+      for (int v = lo; v < hi; ++v) {
+        const auto [top, depth] = top_of(v);
+        out.star[v] = top;
+        if (depth == 0) ++local_tops;
+        if (depth > local_depth) local_depth = depth;
+      }
+      tops[static_cast<std::size_t>(task)] = local_tops;
+      depth_max[static_cast<std::size_t>(task)] = local_depth;
+    });
+    for (int t = 0; t < tasks; ++t) {
+      out.stars += tops[static_cast<std::size_t>(t)];
+      out.max_marked_depth =
+          std::max(out.max_marked_depth, depth_max[static_cast<std::size_t>(t)]);
+    }
   }
-  for (int v = 0; v < n; ++v) out.stars += is_top[v];
 
   // Rounds: 1 pointing round, the Cole–Vishkin phase, 1 round to agree on
   // the best bipartition (a constant-size aggregate), 1 star-formation round.

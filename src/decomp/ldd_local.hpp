@@ -35,9 +35,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "congest/runtime.hpp"
+#include "congest/shard.hpp"
 #include "decomp/clustering.hpp"
 #include "decomp/heavy_stars.hpp"
 #include "graph/graph.hpp"
@@ -51,6 +54,15 @@ struct LocalLddParams {
   int ecc_cap = 0;
   int max_iterations = 100;  // hard cap; the eps budget normally stops first
   EvalParams eval;           // quality measurement knobs
+  // Sharded per-round engine: > 1 partitions the per-iteration vertex work
+  // (cluster-edge build, heavy-stars phases, relabel sweep, cut recount,
+  // per-cluster designee BFS) across a congest::ShardPool. Results are
+  // bit-identical to threads = 1 — the serial reference — for every thread
+  // count; only wall time changes. `pool` lends an existing pool (benches
+  // reuse one across runs); otherwise one is created per call when
+  // threads > 1. threads = 0 asks for hardware_concurrency.
+  int threads = 1;
+  congest::ShardPool* pool = nullptr;
 };
 
 struct LocalLdd {
@@ -74,6 +86,23 @@ inline LocalLdd ldd_minor_free_local(const Graph& g, double eps,
   const std::int64_t allowance =
       static_cast<std::int64_t>(eps * static_cast<double>(g.m()));
 
+  // Sharding setup (threads == 1 runs every loop inline — the serial
+  // reference path the equivalence tests compare against).
+  std::unique_ptr<congest::ShardPool> owned_pool;
+  congest::ShardPool* pool = params.pool;
+  if (pool == nullptr && params.threads != 1) {
+    owned_pool = std::make_unique<congest::ShardPool>(params.threads);
+    pool = owned_pool.get();
+  }
+  const int tasks = pool != nullptr ? pool->threads() : 1;
+  const auto for_ranges = [&](const std::function<void(int, int, int)>& fn) {
+    if (pool == nullptr || pool->threads() == 1) {
+      if (n > 0) fn(0, n, 0);
+    } else {
+      congest::parallel_ranges(*pool, n, tasks, fn);
+    }
+  };
+
   // Per cluster (indexed by its label): a designated center vertex and that
   // center's exact eccentricity inside the cluster. The guard reasons about
   // distances from the center, so diameter <= 2 * ecc_est always holds.
@@ -83,7 +112,7 @@ inline LocalLdd ldd_minor_free_local(const Graph& g, double eps,
 
   std::vector<int> compact(n, -1), rep;    // cluster ids -> dense [0, k)
   std::vector<int> order, head, next_in;   // marked-tree children buckets
-  std::vector<int> dist(n, -1), frontier, nxt;
+  std::vector<int> dist(n, -1);  // shared BFS scratch (clusters are disjoint)
   while (cut > allowance && out.iterations < params.max_iterations) {
     // Dense cluster ids for this iteration.
     std::fill(compact.begin(), compact.end(), -1);
@@ -95,16 +124,34 @@ inline LocalLdd ldd_minor_free_local(const Graph& g, double eps,
       }
     }
     const int k = static_cast<int>(rep.size());
-    std::vector<WeightedEdge> cedges;
-    for (int u = 0; u < n; ++u) {
-      for (int v : g.neighbors(u)) {
-        if (u < v && label[u] != label[v]) {
-          cedges.push_back({compact[label[u]], compact[label[v]], 1});
+    // Cut-edge scan, sharded by source vertex: per-task runs concatenated in
+    // task order reproduce the serial emission order exactly (tasks cover
+    // ascending contiguous u ranges), so the WeightedGraph — and everything
+    // downstream — is bit-identical for every thread count.
+    std::vector<std::vector<WeightedEdge>> cedges_by_task(
+        static_cast<std::size_t>(tasks));
+    for_ranges([&](int lo, int hi, int task) {
+      std::vector<WeightedEdge>& ces =
+          cedges_by_task[static_cast<std::size_t>(task)];
+      for (int u = lo; u < hi; ++u) {
+        for (int v : g.neighbors(u)) {
+          if (u < v && label[u] != label[v]) {
+            ces.push_back({compact[label[u]], compact[label[v]], 1});
+          }
         }
+      }
+    });
+    std::vector<WeightedEdge> cedges;
+    {
+      std::size_t total = 0;
+      for (const auto& ces : cedges_by_task) total += ces.size();
+      cedges.reserve(total);
+      for (auto& ces : cedges_by_task) {
+        cedges.insert(cedges.end(), ces.begin(), ces.end());
       }
     }
     const WeightedGraph cg(k, std::move(cedges));
-    const HeavyStarsResult hs = heavy_stars(cg);
+    const HeavyStarsResult hs = heavy_stars(cg, pool);
     ++out.iterations;
     out.cv_rounds_total += hs.cv_rounds;
     // All of this iteration's charges close into the ledger under one
@@ -175,47 +222,103 @@ inline LocalLdd ldd_minor_free_local(const Graph& g, double eps,
     // to all neighbors (one O(log n)-bit message per incident directed
     // edge), then the designee BFS wave crosses each intra-cluster directed
     // edge once and the eccentricity converges back along the BFS tree.
+    // Relabel + cut recount shard by vertex (label[v] reads/writes are
+    // per-vertex; the recount runs after the relabel barrier); sums fold in
+    // task order — integer addition, so totals are sharding-invariant.
     std::int64_t sweep_msgs = 0;
-    for (int v = 0; v < n; ++v) {
-      const int nl = rep[new_root[compact[label[v]]]];
-      if (nl != label[v]) sweep_msgs += g.degree(v);
-      label[v] = nl;
+    {
+      std::vector<std::int64_t> msgs(static_cast<std::size_t>(tasks), 0);
+      for_ranges([&](int lo, int hi, int task) {
+        std::int64_t local = 0;
+        for (int v = lo; v < hi; ++v) {
+          const int nl = rep[new_root[compact[label[v]]]];
+          if (nl != label[v]) local += g.degree(v);
+          label[v] = nl;
+        }
+        msgs[static_cast<std::size_t>(task)] = local;
+      });
+      for (std::int64_t m2 : msgs) sweep_msgs += m2;
     }
     cut = 0;
-    for (int u = 0; u < n; ++u) {
-      for (int v : g.neighbors(u)) {
-        if (u < v && label[u] != label[v]) ++cut;
-      }
-    }
-    int max_ecc = 1;
-    for (int v = 0; v < n; ++v) {
-      if (label[v] != v) continue;  // one BFS per cluster, from its designee
-      const int src = designee[v];
-      dist[src] = 0;
-      frontier.assign(1, src);
-      int ecc = 0;
-      std::vector<int> touched = frontier;
-      while (!frontier.empty()) {
-        nxt.clear();
-        for (int u : frontier) {
-          for (int w2 : g.neighbors(u)) {
-            if (label[w2] != v) continue;
-            ++sweep_msgs;  // the BFS wave crosses directed edge (u, w2) once
-            if (dist[w2] < 0) {
-              dist[w2] = dist[u] + 1;
-              ecc = dist[w2];
-              nxt.push_back(w2);
-              touched.push_back(w2);
-            }
+    {
+      std::vector<std::int64_t> cuts(static_cast<std::size_t>(tasks), 0);
+      for_ranges([&](int lo, int hi, int task) {
+        std::int64_t local = 0;
+        for (int u = lo; u < hi; ++u) {
+          for (int v : g.neighbors(u)) {
+            if (u < v && label[u] != label[v]) ++local;
           }
         }
-        std::swap(frontier, nxt);
+        cuts[static_cast<std::size_t>(task)] = local;
+      });
+      for (std::int64_t c2 : cuts) cut += c2;
+    }
+    // One BFS per cluster from its designee. Clusters are vertex-disjoint,
+    // so concurrent cluster BFSes share the dist array without racing: a
+    // BFS only touches dist[w2] when label[w2] == its own cluster root, and
+    // resets its touched entries to -1 before finishing. Each cluster is
+    // one pool task (dynamic claiming balances the skewed late-iteration
+    // cluster sizes); per-cluster message counts and eccentricities fold in
+    // root order, identical to the serial sweep.
+    int max_ecc = 1;
+    {
+      std::vector<int> roots;
+      for (int v = 0; v < n; ++v) {
+        if (label[v] == v) roots.push_back(v);
       }
-      ecc_est[v] = ecc;
-      max_ecc = std::max(max_ecc, ecc);
-      // Convergecast of the measured eccentricity along the BFS tree.
-      sweep_msgs += static_cast<std::int64_t>(touched.size()) - 1;
-      for (int u : touched) dist[u] = -1;
+      const int workers = pool != nullptr ? pool->threads() : 1;
+      struct Scratch {
+        std::vector<int> frontier, nxt, touched;
+      };
+      std::vector<Scratch> scratch(static_cast<std::size_t>(workers));
+      std::vector<std::int64_t> bfs_msgs(roots.size(), 0);
+      std::vector<int> ecc_of(roots.size(), 0);
+      const auto bfs_cluster = [&](std::size_t idx, Scratch& sc,
+                                   std::vector<int>& dist_arr) {
+        const int v = roots[idx];
+        const int src = designee[v];
+        dist_arr[src] = 0;
+        sc.frontier.assign(1, src);
+        sc.touched.assign(1, src);
+        int ecc = 0;
+        std::int64_t msgs = 0;
+        while (!sc.frontier.empty()) {
+          sc.nxt.clear();
+          for (int u : sc.frontier) {
+            for (int w2 : g.neighbors(u)) {
+              if (label[w2] != v) continue;
+              ++msgs;  // the BFS wave crosses directed edge (u, w2) once
+              if (dist_arr[w2] < 0) {
+                dist_arr[w2] = dist_arr[u] + 1;
+                ecc = dist_arr[w2];
+                sc.nxt.push_back(w2);
+                sc.touched.push_back(w2);
+              }
+            }
+          }
+          std::swap(sc.frontier, sc.nxt);
+        }
+        // Convergecast of the measured eccentricity along the BFS tree.
+        msgs += static_cast<std::int64_t>(sc.touched.size()) - 1;
+        for (int u : sc.touched) dist_arr[u] = -1;
+        ecc_of[idx] = ecc;
+        bfs_msgs[idx] = msgs;
+      };
+      if (pool == nullptr || pool->threads() == 1) {
+        for (std::size_t i = 0; i < roots.size(); ++i) {
+          bfs_cluster(i, scratch[0], dist);
+        }
+      } else {
+        pool->run(static_cast<int>(roots.size()), [&](int t, int worker) {
+          bfs_cluster(static_cast<std::size_t>(t),
+                      scratch[static_cast<std::size_t>(worker)], dist);
+        });
+      }
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        ecc_est[roots[i]] = ecc_of[i];
+        max_ecc = std::max(max_ecc, ecc_of[i]);
+        sweep_msgs += bfs_msgs[i];
+      }
     }
     // A CONGEST node of the cluster graph is a whole cluster: acting as one
     // (electing the pick, spreading the color, re-measuring the center's

@@ -15,10 +15,18 @@
 // uncovered-edge set. By default that halving is *measured* (the paper's
 // bound holds empirically); with OverlapDecompParams::budgeted it is
 // *enforced*: a level that leaves more than half of its edges uncovered is
-// re-partitioned at half the level ε (up to budget_retries times), and a
+// repaired SURGICALLY — the still-uncovered edge subgraph (not the whole
+// level) is re-partitioned at half the level ε, its clusters appended to
+// the family (overlap is exactly what the object licenses), and the ladder
+// repeats on the geometrically smaller remainder up to budget_retries
+// times. Coverage is monotone across retries — an edge covered by an
+// earlier pass stays covered — so retries only shrink the uncovered set. A
 // level that still misses its budget is recorded in
 // OverlapDecompResult::budget_violations so the evaluate_overlap audit
-// fails loudly instead of silently recursing past the level cap.
+// fails loudly instead of silently recursing past the level cap. Each
+// retry can add one more cluster membership to a vertex, so on budgeted
+// runs the overlap c is bounded by levels + total retries (retries are
+// rare: the trail in level_retries records them).
 //
 // evaluate_overlap audits all three guarantees on the finished object;
 // min_support_phi_lower reuses graph/metrics.hpp::phi_certificate (exact
@@ -53,8 +61,9 @@ struct OverlapDecompParams {
   int max_levels = 0;      // 0 derives ceil(log2(1/eps)) + 2
   int min_level_edges = 1; // stop once fewer uncovered edges remain
   // Enforce the per-level halving instead of measuring it: a level leaving
-  // more than half of its edges uncovered is re-run at level_eps/2 (then /4,
-  // ...) up to budget_retries times; a level that still overshoots lands in
+  // more than half of its edges uncovered re-partitions just that uncovered
+  // remainder at level_eps/2 (then /4, ...) up to budget_retries times,
+  // appending the retry clusters; a level that still overshoots lands in
   // OverlapDecompResult::budget_violations.
   bool budgeted = false;
   int budget_retries = 3;
@@ -73,6 +82,9 @@ struct OverlapDecompResult {
   // instance defeats the retry ladder).
   std::vector<std::int64_t> level_edges;
   std::vector<std::int64_t> level_uncovered;
+  // Surgical retries run per level (0 on non-budgeted runs and on levels
+  // that met their budget first try).
+  std::vector<int> level_retries;
   std::vector<int> budget_violations;
 };
 
@@ -93,74 +105,97 @@ inline OverlapDecompResult overlap_expander_decomposition(
         static_cast<int>(uncovered.size()) < params.min_level_edges) {
       break;
     }
-    // Level graph: the still-uncovered edges on their incident vertices.
-    std::vector<int> verts;
-    verts.reserve(2 * uncovered.size());
-    for (const auto& [u, v] : uncovered) {
-      verts.push_back(u);
-      verts.push_back(v);
-    }
-    std::sort(verts.begin(), verts.end());
-    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
-    std::vector<int> local(g.n(), -1);
-    for (std::size_t i = 0; i < verts.size(); ++i) {
-      local[verts[i]] = static_cast<int>(i);
-    }
-    std::vector<std::pair<int, int>> ledges;
-    ledges.reserve(uncovered.size());
-    for (const auto& [u, v] : uncovered) ledges.emplace_back(local[u], local[v]);
-    const Graph h =
-        Graph::from_edges(static_cast<int>(verts.size()), std::move(ledges));
-
     // The level's charges (partition pipeline + any budgeted retries) close
     // into the ledger under one "level L: " prefix, full phase breakdown
     // preserved — the bench per-phase table shows "level 0: edt: ...".
     congest::ChargeScope scope(out.ledger, "level " + std::to_string(level));
-    const auto still_uncovered = [&](const ExpanderDecomp& e) {
+
+    // Shared by the base run and the surgical retries: induce an edge set on
+    // its incident vertices. verts/local are the global<->local maps of the
+    // MOST RECENT build — separated()/adopt_clusters() below read them.
+    std::vector<int> verts, local;
+    const auto build_graph = [&](const std::vector<std::pair<int, int>>& es) {
+      verts.clear();
+      verts.reserve(2 * es.size());
+      for (const auto& [u, v] : es) {
+        verts.push_back(u);
+        verts.push_back(v);
+      }
+      std::sort(verts.begin(), verts.end());
+      verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+      local.assign(g.n(), -1);
+      for (std::size_t i = 0; i < verts.size(); ++i) {
+        local[verts[i]] = static_cast<int>(i);
+      }
+      std::vector<std::pair<int, int>> ledges;
+      ledges.reserve(es.size());
+      for (const auto& [u, v] : es) ledges.emplace_back(local[u], local[v]);
+      return Graph::from_edges(static_cast<int>(verts.size()),
+                               std::move(ledges));
+    };
+    // Edges of `es` whose endpoints partition `e` put in different clusters.
+    const auto separated = [&](const ExpanderDecomp& e,
+                               const std::vector<std::pair<int, int>>& es) {
       std::vector<std::pair<int, int>> still;
-      for (const auto& [u, v] : uncovered) {
+      for (const auto& [u, v] : es) {
         if (e.clustering.cluster[local[u]] != e.clustering.cluster[local[v]]) {
           still.emplace_back(u, v);
         }
       }
       return still;
     };
+    // Every pass's clusters join the family immediately — the retries'
+    // clusters legitimately overlap the base pass's, which is exactly the
+    // freedom the overlap object licenses.
+    const auto adopt_clusters = [&](const ExpanderDecomp& e) {
+      std::vector<std::vector<int>> mem(e.clustering.k);
+      for (std::size_t i = 0; i < verts.size(); ++i) {
+        mem[e.clustering.cluster[i]].push_back(verts[i]);
+      }
+      for (auto& cluster : mem) {
+        if (!cluster.empty()) out.oc.members.push_back(std::move(cluster));
+      }
+    };
 
     double lvl_eps = params.level_eps;
-    ExpanderDecomp ed =
+    const Graph h = build_graph(uncovered);
+    const ExpanderDecomp ed =
         expander_decomposition_minor_free(h, lvl_eps, params.expander);
     scope.absorb(ed.ledger);
-    std::vector<std::pair<int, int>> still = still_uncovered(ed);
+    if (level == 0) out.phi_target = ed.phi_target;
+    adopt_clusters(ed);
+    std::vector<std::pair<int, int>> still = separated(ed, uncovered);
+    int retries = 0;
     if (params.budgeted) {
-      // Enforced halving: re-partition at half the level ε until at most
-      // half of the level's edges stay uncovered (or retries run out).
+      // Enforced halving, surgically: instead of throwing away the whole
+      // level and re-running it at halved ε (the old ladder — every retry
+      // repaid the full level cost and discarded clusters that were already
+      // fine), re-partition ONLY the still-uncovered remainder. Coverage is
+      // monotone — an edge covered by an earlier pass stays covered — so
+      // each rung works on a smaller instance and `still` only shrinks.
       for (int retry = 1;
            retry <= params.budget_retries &&
            2 * static_cast<std::int64_t>(still.size()) >
                static_cast<std::int64_t>(uncovered.size());
            ++retry) {
+        ++retries;
         lvl_eps /= 2.0;
-        ed = expander_decomposition_minor_free(h, lvl_eps, params.expander);
-        scope.absorb(ed.ledger, "retry " + std::to_string(retry) + ": ");
-        still = still_uncovered(ed);
+        const Graph rh = build_graph(still);
+        const ExpanderDecomp red =
+            expander_decomposition_minor_free(rh, lvl_eps, params.expander);
+        scope.absorb(red.ledger, "retry " + std::to_string(retry) + ": ");
+        adopt_clusters(red);
+        still = separated(red, still);
       }
       if (2 * static_cast<std::int64_t>(still.size()) >
           static_cast<std::int64_t>(uncovered.size())) {
         out.budget_violations.push_back(level);
       }
     }
-    if (level == 0) out.phi_target = ed.phi_target;
     ++out.iterations;
     out.level_edges.push_back(static_cast<std::int64_t>(uncovered.size()));
     out.level_uncovered.push_back(static_cast<std::int64_t>(still.size()));
-
-    std::vector<std::vector<int>> cluster_members(ed.clustering.k);
-    for (int i = 0; i < h.n(); ++i) {
-      cluster_members[ed.clustering.cluster[i]].push_back(verts[i]);
-    }
-    for (auto& mem : cluster_members) {
-      if (!mem.empty()) out.oc.members.push_back(std::move(mem));
-    }
+    out.level_retries.push_back(retries);
     uncovered = std::move(still);
   }
   out.uncovered_edges = static_cast<std::int64_t>(uncovered.size());

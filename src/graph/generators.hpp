@@ -43,6 +43,24 @@ inline Graph grid_graph(int rows, int cols) {
   return Graph::from_edges(rows * cols, std::move(edges));
 }
 
+/// rows x cols 4-neighbor torus (grid with wraparound rows/columns); vertex
+/// (r, c) has index r*cols + c. Needs rows, cols >= 3 to stay simple. Genus 1
+/// (embeds on the torus, not the plane), hence K8-minor-free — the
+/// non-planar H-minor-free family the scaling bench sweeps alongside
+/// grid/planar.
+inline Graph torus_graph(int rows, int cols) {
+  assert(rows >= 3 && cols >= 3);
+  std::vector<std::pair<int, int>> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int v = r * cols + c;
+      edges.emplace_back(v, r * cols + (c + 1) % cols);
+      edges.emplace_back(v, (r + 1) % rows * cols + c);
+    }
+  }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
 /// Uniform random-attachment tree: vertex v attaches to a uniform earlier one.
 inline Graph random_tree(int n, Rng& rng) {
   std::vector<std::pair<int, int>> edges;

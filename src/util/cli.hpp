@@ -1,23 +1,35 @@
 // Tiny command-line flag parser used by every bench binary.
 //
-// Accepted forms: `--key value`, `--key=value`, `-key value`, `-key=value`.
-// A flag with no following value (or followed by another flag) is stored as
-// "1" so `--verbose` style booleans work with get_int.
+// Accepted forms: `--key value`, `--key=value`, `-key value`, `-key=value` —
+// all four are interchangeable, and when a flag repeats (in any mix of
+// forms) the LAST occurrence wins, matching what shell wrappers that append
+// overrides expect. A flag with no following value (or followed by another
+// flag) is stored as "1" so `--verbose` style booleans work with get_int.
+// Values may be negative or in scientific notation (`--eps -1e-3`).
+//
+// Malformed numeric values never throw: `--n=` or `--n abc` make get_int /
+// get_double return their fallback, and the bad value is reported by
+// warn_unrecognized() — a scripted sweep keeps running instead of dying on
+// an uncaught std::invalid_argument mid-batch.
 //
 // Typo safety: every flag a bench queries (via has/get/get_int/get_double)
 // is recorded as recognized; warn_unrecognized() then reports any provided
 // flag nobody asked about — so `--smok` prints a warning (with a
 // did-you-mean suggestion) instead of silently turning a smoke run into a
-// full run. Benches call it once, after their last flag read.
+// full run — plus any stray positional tokens (which earlier versions
+// dropped silently). Benches call it once, after their last flag read.
 #pragma once
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <ostream>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mfd {
@@ -27,12 +39,24 @@ class Cli {
   Cli(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.size() < 2 || arg[0] != '-') continue;
+      // Not a flag: positional word, bare "-"/"--", or a stranded numeric
+      // token (a value whose flag was mistyped). Record it for
+      // warn_unrecognized instead of dropping it silently.
+      if (arg.size() < 2 || arg[0] != '-' || looks_numeric(arg.c_str())) {
+        stray_.push_back(arg);
+        continue;
+      }
       const std::size_t name_start = (arg[1] == '-') ? 2 : 1;
       std::string key = arg.substr(name_start);
       const std::size_t eq = key.find('=');
       if (eq != std::string::npos) {
-        flags_[key.substr(0, eq)] = key.substr(eq + 1);
+        std::string value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        if (key.empty()) {  // "--=x" has no flag name
+          stray_.push_back(arg);
+          continue;
+        }
+        flags_[key] = std::move(value);  // map assign: last occurrence wins
       } else if (i + 1 < argc &&
                  (argv[i + 1][0] != '-' || looks_numeric(argv[i + 1]))) {
         flags_[key] = argv[++i];
@@ -56,13 +80,29 @@ class Cli {
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     recognized_.insert(key);
     const auto it = flags_.find(key);
-    return it == flags_.end() ? fallback : std::stoll(it->second);
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      malformed_.emplace_back(key, it->second);
+      return fallback;
+    }
+    return v;
   }
 
   double get_double(const std::string& key, double fallback) const {
     recognized_.insert(key);
     const auto it = flags_.find(key);
-    return it == flags_.end() ? fallback : std::stod(it->second);
+    if (it == flags_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      malformed_.emplace_back(key, it->second);
+      return fallback;
+    }
+    return v;
   }
 
   /// Flags provided on the command line that no accessor ever asked about —
@@ -75,9 +115,13 @@ class Cli {
     return out;
   }
 
-  /// Print one warning per unrecognized flag (with a did-you-mean hint when
-  /// a recognized flag is within edit distance 2); returns how many there
-  /// were so harnesses can decide to fail on them.
+  /// Stray positional tokens the parser could not attach to any flag.
+  const std::vector<std::string>& stray() const { return stray_; }
+
+  /// Print one warning per problem — unrecognized flag (with a did-you-mean
+  /// hint when a recognized flag is within edit distance 2), stray
+  /// positional token, or malformed numeric value that fell back to its
+  /// default — and return the total so harnesses can decide to fail on them.
   int warn_unrecognized(std::ostream& err) const {
     const std::vector<std::string> unknown = unrecognized();
     for (const std::string& key : unknown) {
@@ -94,21 +138,43 @@ class Cli {
       if (!best.empty()) err << " (did you mean --" << best << "?)";
       err << "\n";
     }
-    return static_cast<int>(unknown.size());
+    for (const std::string& tok : stray_) {
+      err << "warning: stray argument '" << tok << "' ignored\n";
+    }
+    for (const auto& [key, value] : malformed_) {
+      err << "warning: flag --" << key << " has non-numeric value '" << value
+          << "'; using the default\n";
+    }
+    return static_cast<int>(unknown.size() + stray_.size() +
+                            malformed_.size());
   }
 
  private:
-  // Distinguishes a negative numeric value ("-5", "-0.25") from a flag
-  // ("-n") so `--shift -5` parses as shift=-5 rather than two flags.
+  // Distinguishes a numeric value ("-5", "-0.25", "-1e-3") from a flag
+  // ("-n") so `--shift -5` and `--eps -1e-3` parse as values rather than
+  // flags. Grammar: [sign] digits [. digits] [eE [sign] digits], with at
+  // least one digit in the mantissa.
   static bool looks_numeric(const char* s) {
     if (*s == '-' || *s == '+') ++s;
-    if (*s == '\0') return false;
-    for (; *s != '\0'; ++s) {
-      if (!std::isdigit(static_cast<unsigned char>(*s)) && *s != '.') {
-        return false;
+    bool mantissa = false;
+    for (; std::isdigit(static_cast<unsigned char>(*s)); ++s) mantissa = true;
+    if (*s == '.') {
+      ++s;
+      for (; std::isdigit(static_cast<unsigned char>(*s)); ++s) {
+        mantissa = true;
       }
     }
-    return true;
+    if (!mantissa) return false;
+    if (*s == 'e' || *s == 'E') {
+      ++s;
+      if (*s == '-' || *s == '+') ++s;
+      bool exponent = false;
+      for (; std::isdigit(static_cast<unsigned char>(*s)); ++s) {
+        exponent = true;
+      }
+      if (!exponent) return false;
+    }
+    return *s == '\0';
   }
 
   static std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -129,7 +195,11 @@ class Cli {
   }
 
   std::map<std::string, std::string> flags_;
+  std::vector<std::string> stray_;
   mutable std::set<std::string> recognized_;
+  // (key, value) pairs whose numeric parse failed — filled lazily by the
+  // typed getters, reported by warn_unrecognized.
+  mutable std::vector<std::pair<std::string, std::string>> malformed_;
 };
 
 }  // namespace mfd

@@ -84,6 +84,33 @@ TEST_CASE(message_meter_counts_and_peaks) {
   CHECK(m.peak_congestion() == 2);
 }
 
+TEST_CASE(meter_zero_count_send_is_pure_query) {
+  // send(s, 0) is a no-op QUERY: it must not meter anything and — the
+  // regression — must not push an untouched slot into the round's touched
+  // list, which previously left a stale entry that end_round() would reset
+  // redundantly and, worse, let a later real send on that slot skip its own
+  // touched registration path's invariants. Negative counts are the same
+  // no-op (metering is monotone; nothing ever "un-sends").
+  congest::MessageMeter m(4);
+  CHECK(m.send(2, 0) == 0);   // query on an idle slot: current load is 0
+  CHECK(m.send(2, -5) == 0);  // negative count: identical no-op query
+  CHECK(m.round_peak() == 0);
+  CHECK(m.total_messages() == 0);
+  m.end_round();
+  CHECK(m.peak_congestion() == 0);  // the query round metered nothing
+  m.send(2, 3);
+  CHECK(m.send(2, 0) == 3);  // query reports the open round's load
+  CHECK(m.send(1, 0) == 0);  // other slots unaffected
+  CHECK(m.round_peak() == 3);
+  m.end_round();
+  CHECK(m.send(2, 0) == 0);  // loads reset at the boundary, query agrees
+  CHECK(m.total_messages() == 3);
+  CHECK(m.peak_congestion() == 3);
+  // Out-of-range queries are tracked nowhere and return 0.
+  CHECK(m.send(-1, 0) == 0);
+  CHECK(m.send(99, 0) == 0);
+}
+
 TEST_CASE(congestion_floor_identity) {
   CHECK(congest::congestion_floor(0, 5, 10) == 0);
   CHECK(congest::congestion_floor(7, 5, 10) == 1);   // fits at peak 1
@@ -309,7 +336,49 @@ TEST_CASE(overlap_budgeted_levels_halve) {
   }
   const decomp::OverlapQuality q = decomp::evaluate_overlap(g, od);
   CHECK(q.level_budget_ok);
+  // No level overshoots on this instance, so the surgical ladder never runs.
+  CHECK(od.level_retries.size() == static_cast<std::size_t>(od.iterations));
+  for (int r : od.level_retries) CHECK(r == 0);
   CHECK(od.ledger.total_messages() > 0);
+  CHECK(od.ledger.audit(2 * g.m()).ok);
+}
+
+TEST_CASE(overlap_surgical_retry_repairs_level) {
+  // Force the budgeted retry ladder: level_eps = 3.0 gives the base pass an
+  // allowance >= m, so the EDT inside it never merges anything — every edge
+  // stays uncovered and the level is maximally over budget. The surgical
+  // ladder must then re-partition ONLY the uncovered remainder at halved
+  // eps, append those clusters (the overlap the object licenses), and bring
+  // the level inside its halving budget — with the retry trail recorded and
+  // every evaluate_overlap guarantee intact.
+  const Graph g = grid_graph(14, 14);
+  decomp::OverlapDecompParams p;
+  p.budgeted = true;
+  p.level_eps = 3.0;
+  const decomp::OverlapDecompResult od =
+      decomp::overlap_expander_decomposition(g, 0.25, p);
+  CHECK(od.iterations >= 1);
+  CHECK(!od.level_retries.empty());
+  CHECK_MSG(od.level_retries[0] >= 1, "ladder never ran");
+  CHECK(od.budget_violations.empty());
+  int total_retries = 0;
+  for (std::size_t i = 0; i < od.level_edges.size(); ++i) {
+    CHECK_MSG(2 * od.level_uncovered[i] <= od.level_edges[i],
+              "level " + std::to_string(i));
+    total_retries += od.level_retries[i];
+  }
+  const decomp::OverlapQuality q = decomp::evaluate_overlap(g, od);
+  CHECK(q.level_budget_ok);
+  CHECK(q.base.eps_fraction <= 0.25);
+  // A vertex joins at most one cluster per pass: levels + retries bounds c.
+  CHECK_MSG(q.overlap_c <= od.iterations + total_retries,
+            "c=" + std::to_string(q.overlap_c));
+  // The retry trail is visible in the ledger under the level's prefix.
+  bool saw_retry_charge = false;
+  for (const congest::RoundCharge& e : od.ledger.entries()) {
+    if (e.phase.find("retry 1: ") != std::string::npos) saw_retry_charge = true;
+  }
+  CHECK(saw_retry_charge);
   CHECK(od.ledger.audit(2 * g.m()).ok);
 }
 

@@ -1,0 +1,249 @@
+// The sharded per-round engine's determinism contract (congest/shard.hpp):
+// every sharded path must produce BIT-IDENTICAL results to its serial
+// reference for every shard count. These cases sweep thread counts
+// {1, 2, 7, hardware_concurrency} over
+//   * the primitives (ShardPlan coverage, ShardPool task completion,
+//     ShardedMeter merge vs a serial MessageMeter fed the same traffic),
+//   * heavy-stars contraction on a weighted cluster graph,
+//   * the full Theorem 1.1 local LDD on grid and torus families (clusterings,
+//     cut edges, per-phase ledger entries, and Runtime::audit totals),
+//   * the kSharded walk engine vs the kSerial reference (routes, rounds,
+//     accepted seed, and the merged-meter congestion gate).
+// They also run under ThreadSanitizer in CI — the race gate for the pool and
+// the per-shard meter lanes.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/shard.hpp"
+#include "decomp/heavy_stars.hpp"
+#include "decomp/ldd_local.hpp"
+#include "expander/rw_routing.hpp"
+#include "expander/split.hpp"
+#include "graph/generators.hpp"
+#include "graph/ops.hpp"
+#include "graph/weighted.hpp"
+#include "test_main.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace mfd;
+using namespace mfd::congest;
+
+namespace {
+
+// The sweep every equivalence case runs: serial, two, an odd count that does
+// not divide the test sizes, and whatever the host machine has.
+const std::vector<int> kThreadSweep = {1, 2, 7, 0};
+
+bool same_charges(const Runtime& a, const Runtime& b, const std::string& ctx) {
+  if (a.entries().size() != b.entries().size()) return false;
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    const RoundCharge& x = a.entries()[i];
+    const RoundCharge& y = b.entries()[i];
+    if (x.phase != y.phase || x.rounds != y.rounds ||
+        x.messages != y.messages || x.max_congestion != y.max_congestion) {
+      CHECK_MSG(false, ctx + ": charge " + std::to_string(i) + " (" + x.phase +
+                           ") diverged");
+      return false;
+    }
+  }
+  return true;
+}
+
+// A deterministic weighted graph for the heavy-stars sweep: grid edges with
+// weights spread over [1, 9] so the pointing phase has real ties to break.
+WeightedGraph weighted_grid(int rows, int cols) {
+  const Graph g = grid_graph(rows, cols);
+  std::vector<WeightedEdge> edges;
+  for (int u = 0; u < g.n(); ++u) {
+    for (int v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v, (u * 7 + v * 13) % 9 + 1});
+    }
+  }
+  return WeightedGraph(g.n(), std::move(edges));
+}
+
+}  // namespace
+
+TEST_CASE(shard_plan_covers_range) {
+  for (int n : {0, 1, 5, 16, 4096, 4097}) {
+    for (int shards : {1, 2, 7, 8, 64}) {
+      const ShardPlan plan(n, shards);
+      const std::string ctx = "n=" + std::to_string(n) +
+                              " shards=" + std::to_string(shards);
+      CHECK_MSG(plan.begin(0) == 0, ctx);
+      CHECK_MSG(plan.end(shards - 1) == n, ctx);
+      int lo = n, hi = 0;
+      for (int s = 0; s < shards; ++s) {
+        CHECK_MSG(plan.end(s) == plan.begin(s + 1), ctx);  // contiguity
+        const int size = plan.end(s) - plan.begin(s);
+        CHECK_MSG(size >= 0, ctx);
+        lo = std::min(lo, size);
+        hi = std::max(hi, size);
+      }
+      CHECK_MSG(hi - lo <= 1, ctx + ": uneven partition");
+    }
+  }
+}
+
+TEST_CASE(shard_pool_runs_every_task_once) {
+  for (int threads : kThreadSweep) {
+    ShardPool pool(threads);
+    CHECK(pool.threads() >= 1);
+    const int tasks = 3 * pool.threads() + 5;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(tasks));
+    for (auto& h : hits) h.store(0);
+    // Reuse across run() calls is the per-round pattern: barriers between.
+    for (int round = 0; round < 3; ++round) {
+      pool.run(tasks, [&](int t, int worker) {
+        CHECK(worker >= 0 && worker < pool.threads());
+        hits[static_cast<std::size_t>(t)].fetch_add(1);
+      });
+    }
+    for (int t = 0; t < tasks; ++t) {
+      CHECK_MSG(hits[static_cast<std::size_t>(t)].load() == 3,
+                "task " + std::to_string(t) + " threads=" +
+                    std::to_string(threads));
+    }
+  }
+}
+
+TEST_CASE(sharded_meter_merge_matches_serial_meter) {
+  // Drive a serial MessageMeter and a ShardedMeter with identical traffic
+  // (including zero-count queries, which must meter nothing on either) and
+  // compare every merged view per round and at the end.
+  const std::int64_t slots = 100;
+  for (int shards : {1, 2, 7}) {
+    std::vector<std::int64_t> slot_begin;
+    const ShardPlan plan(static_cast<int>(slots), shards);
+    for (int s = 0; s <= shards; ++s) slot_begin.push_back(plan.begin(s));
+    MessageMeter serial(slots);
+    ShardedMeter sharded(slot_begin);
+    CHECK(sharded.shards() == shards);
+    std::uint64_t state = 12345;
+    const auto owner_of = [&](std::int64_t slot) {
+      int s = 0;
+      while (plan.end(s) <= slot) ++s;
+      return s;
+    };
+    for (int round = 0; round < 17; ++round) {
+      for (int i = 0; i < 400; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::int64_t slot =
+            static_cast<std::int64_t>(state >> 33) % slots;
+        const std::int64_t count = static_cast<std::int64_t>(state >> 29) % 4;
+        // count == 0 exercises the no-op query contract under sharding too.
+        const std::int64_t a = serial.send(slot, count);
+        const std::int64_t b = sharded.send(owner_of(slot), slot, count);
+        CHECK(a == b);
+      }
+      CHECK_MSG(serial.round_peak() == sharded.round_peak(),
+                "round " + std::to_string(round) + " shards=" +
+                    std::to_string(shards));
+      serial.end_round();
+      sharded.end_round();
+    }
+    CHECK(serial.total_messages() == sharded.total_messages());
+    CHECK(serial.peak_congestion() == sharded.peak_congestion());
+    CHECK(serial.rounds() == sharded.rounds());
+    std::int64_t lane_sum = 0;
+    for (int s = 0; s < shards; ++s) lane_sum += sharded.shard_messages(s);
+    CHECK(lane_sum == sharded.total_messages());  // the offline merge trail
+  }
+}
+
+TEST_CASE(heavy_stars_sharded_bit_identical) {
+  const WeightedGraph wg = weighted_grid(40, 37);
+  const decomp::HeavyStarsResult serial = decomp::heavy_stars(wg);
+  for (int threads : kThreadSweep) {
+    ShardPool pool(threads);
+    const decomp::HeavyStarsResult sharded = decomp::heavy_stars(wg, &pool);
+    const std::string ctx = "threads=" + std::to_string(pool.threads());
+    CHECK_MSG(serial.star == sharded.star, ctx);
+    CHECK_MSG(serial.kept_parent == sharded.kept_parent, ctx);
+    CHECK_MSG(serial.stars == sharded.stars, ctx);
+    CHECK_MSG(serial.captured_weight == sharded.captured_weight, ctx);
+    CHECK_MSG(serial.max_marked_depth == sharded.max_marked_depth, ctx);
+    CHECK_MSG(serial.rounds == sharded.rounds, ctx);
+    CHECK_MSG(serial.messages == sharded.messages, ctx);
+    same_charges(serial.ledger, sharded.ledger, ctx);
+  }
+}
+
+TEST_CASE(ldd_sharded_bit_identical_grid_torus) {
+  struct Family {
+    const char* name;
+    Graph g;
+  };
+  const Family families[] = {{"grid", grid_graph(64, 64)},
+                             {"torus", torus_graph(40, 40)}};
+  for (const Family& fam : families) {
+    const decomp::LocalLdd serial = decomp::ldd_minor_free_local(fam.g, 0.25);
+    for (int threads : kThreadSweep) {
+      ShardPool pool(threads);
+      decomp::LocalLddParams p;
+      p.pool = &pool;
+      const decomp::LocalLdd sharded =
+          decomp::ldd_minor_free_local(fam.g, 0.25, p);
+      const std::string ctx = std::string(fam.name) +
+                              " threads=" + std::to_string(pool.threads());
+      CHECK_MSG(serial.clustering.cluster == sharded.clustering.cluster, ctx);
+      CHECK_MSG(serial.cut_edges == sharded.cut_edges, ctx);
+      CHECK_MSG(serial.iterations == sharded.iterations, ctx);
+      CHECK_MSG(serial.merges == sharded.merges, ctx);
+      same_charges(serial.ledger, sharded.ledger, ctx);
+      const AuditResult sa = serial.ledger.audit(2 * fam.g.m());
+      const AuditResult ha = sharded.ledger.audit(2 * fam.g.m());
+      CHECK_MSG(sa.ok && ha.ok, ctx);
+      CHECK_MSG(serial.ledger.total() == sharded.ledger.total(), ctx);
+      CHECK_MSG(
+          serial.ledger.total_messages() == sharded.ledger.total_messages(),
+          ctx);
+      CHECK_MSG(
+          serial.ledger.peak_congestion() == sharded.ledger.peak_congestion(),
+          ctx);
+    }
+  }
+}
+
+TEST_CASE(rw_sharded_matches_serial) {
+  const auto run = [](expander::RwSimEngine engine, int threads, int cycle_n,
+                      double f) {
+    Rng rng(17);
+    const expander::ExpanderSplit sp =
+        expander::expander_split(add_apex(cycle_graph(cycle_n)), rng);
+    expander::RwParams p;
+    p.sim_engine = engine;
+    p.threads = threads;
+    return expander::gather_random_walks(sp, cycle_n, f, p);
+  };
+  for (int cycle_n : {24, 257, 2047}) {
+    for (double f : {0.25, 0.05}) {
+      const expander::RwResult serial =
+          run(expander::RwSimEngine::kSerial, 1, cycle_n, f);
+      for (int threads : kThreadSweep) {
+        const expander::RwResult sharded =
+            run(expander::RwSimEngine::kSharded, threads, cycle_n, f);
+        const std::string ctx = "n=" + std::to_string(cycle_n) +
+                                " f=" + Table::num(f, 2) +
+                                " threads=" + std::to_string(threads);
+        CHECK_MSG(serial.delivered_fraction == sharded.delivered_fraction, ctx);
+        CHECK_MSG(serial.rounds == sharded.rounds, ctx);
+        CHECK_MSG(serial.walk_length == sharded.walk_length, ctx);
+        CHECK_MSG(serial.schedule.seed == sharded.schedule.seed, ctx);
+        CHECK_MSG(serial.schedule.seed_tries == sharded.schedule.seed_tries,
+                  ctx);
+        CHECK_MSG(serial.route == sharded.route, ctx);
+        same_charges(serial.ledger, sharded.ledger, ctx);
+        // Merged-meter congestion gate: the sharded engine's per-lane merge
+        // trail must re-derive the serial "walk rounds" phase exactly.
+        CHECK_MSG(!sharded.shard_messages.empty(), ctx);
+        std::int64_t lane_sum = 0;
+        for (std::int64_t m : sharded.shard_messages) lane_sum += m;
+        CHECK_MSG(lane_sum == serial.ledger.entries()[0].messages, ctx);
+      }
+    }
+  }
+}

@@ -105,6 +105,69 @@ TEST_CASE(table_alignment) {
   CHECK(lines[3].rfind("3456") == lines[3].size() - 4);
 }
 
+TEST_CASE(cli_eq_and_repeated_flags_last_wins) {
+  // `--key=value` and `--key value` are interchangeable, and the LAST
+  // occurrence wins regardless of which form each occurrence used — shell
+  // wrappers append overrides and expect them to stick.
+  const char* argv[] = {"prog", "--n=5",         "--n",        "7",
+                        "--n=9", "--family",     "planar",     "--family=grid",
+                        "--eps", "0.4",          "--eps=0.25"};
+  const Cli cli(11, const_cast<char**>(argv));
+  CHECK(cli.get_int("n", 0) == 9);
+  CHECK(cli.get("family", "tree") == "grid");
+  CHECK(cli.get_double("eps", 0.3) == 0.25);
+  std::ostringstream err;
+  CHECK(cli.warn_unrecognized(err) == 0);
+  CHECK(err.str().empty());
+}
+
+TEST_CASE(cli_malformed_values_fall_back) {
+  // `--n=` and `--n abc` used to throw an uncaught std::invalid_argument out
+  // of std::stoll, killing scripted sweeps mid-batch. They must fall back to
+  // the default and be reported by warn_unrecognized instead.
+  const char* argv[] = {"prog", "--n=", "--depth", "abc", "--eps=0.x"};
+  const Cli cli(5, const_cast<char**>(argv));
+  CHECK(cli.get_int("n", 4096) == 4096);
+  CHECK(cli.get_int("depth", 3) == 3);
+  CHECK(cli.get_double("eps", 0.3) == 0.3);
+  std::ostringstream err;
+  CHECK(cli.warn_unrecognized(err) == 3);
+  const std::string text = err.str();
+  CHECK(text.find("--n has non-numeric value ''") != std::string::npos);
+  CHECK(text.find("--depth has non-numeric value 'abc'") != std::string::npos);
+  CHECK(text.find("--eps has non-numeric value '0.x'") != std::string::npos);
+}
+
+TEST_CASE(cli_scientific_and_negative_values) {
+  // Scientific-notation values must parse as values, not be mistaken for
+  // flags: `--eps -1e-3` previously split into eps="1" plus a bogus flag.
+  const char* argv[] = {"prog", "--eps", "-1e-3", "--scale", "2.5E2",
+                        "--shift", "-5"};
+  const Cli cli(7, const_cast<char**>(argv));
+  CHECK(cli.get_double("eps", 0.3) == -1e-3);
+  CHECK(cli.get_double("scale", 1.0) == 250.0);
+  CHECK(cli.get_int("shift", 0) == -5);
+  std::ostringstream err;
+  CHECK(cli.warn_unrecognized(err) == 0);
+  CHECK(err.str().empty());
+}
+
+TEST_CASE(cli_stray_positionals_reported) {
+  // Positional tokens (and stranded numeric values whose flag was mistyped)
+  // used to vanish silently; they must surface through warn_unrecognized.
+  const char* argv[] = {"prog", "junk", "--n", "64", "17", "-3"};
+  const Cli cli(6, const_cast<char**>(argv));
+  CHECK(cli.get_int("n", 0) == 64);
+  CHECK(cli.stray().size() == 3);
+  CHECK(cli.stray()[0] == "junk");
+  CHECK(cli.stray()[1] == "17");
+  CHECK(cli.stray()[2] == "-3");
+  std::ostringstream err;
+  CHECK(cli.warn_unrecognized(err) == 3);
+  CHECK(err.str().find("stray argument 'junk'") != std::string::npos);
+  CHECK(err.str().find("stray argument '-3'") != std::string::npos);
+}
+
 TEST_CASE(cli_unknown_flags_warn) {
   // --smok is a typo for --smoke: it must be reported (with a suggestion),
   // not silently ignored — a smoke run must never silently become full.
