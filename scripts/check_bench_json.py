@@ -28,6 +28,13 @@ merge trail, which is re-derived here: a positive thread count, a positive
 meter-shard count, and one shard{i}_messages metric per lane whose sum must
 equal walk_messages_merged — the offline proof that the per-shard meters
 merged to the serial totals (docs/ARCHITECTURE.md, "The bandwidth model").
+
+bench_expander_decomp (bench == "expander_decomp") additionally publishes
+the certified-vs-estimated conductance split from the cut-matching certify
+audit (docs/ARCHITECTURE.md, "Conductance certification"): certify_ok must
+be 1, the certified/estimated cluster counts must be non-negative, sum to
+the cluster count, and cover at least one cluster, and both phi columns
+must be genuine conductances in [0, 1].
 """
 import glob
 import json
@@ -109,6 +116,8 @@ def check_file(path):
 
     if doc["bench"] == "scale" and not check_scale(path, doc):
         return False
+    if doc["bench"] == "expander_decomp" and not check_expander_decomp(path, doc):
+        return False
 
     print(f"{path}: ok ({len(phases)} phases, {messages_sum} messages)")
     return True
@@ -147,6 +156,36 @@ def check_scale(path, doc):
         if key.startswith("rounds_") and (not isinstance(val, INT) or val < 1):
             return fail(path, f"scale: metrics.{key} invalid ({val!r})")
     print(f"{path}: scale merge trail ok ({shards} lanes, {merged} messages)")
+    return True
+
+
+def check_expander_decomp(path, doc):
+    """bench_expander_decomp extras: the certified-vs-estimated phi split."""
+    metrics = doc["metrics"]
+    if metrics.get("certify_ok") != 1:
+        return fail(path, f"expander_decomp: certify_ok is "
+                          f"{metrics.get('certify_ok')!r}, expected 1")
+    counts = {}
+    for key in ("clusters_certified", "clusters_estimated"):
+        val = metrics.get(key)
+        if not isinstance(val, INT) or isinstance(val, bool) or val < 0:
+            return fail(path, f"expander_decomp: metrics.{key} invalid ({val!r})")
+        counts[key] = val
+    if counts["clusters_certified"] + counts["clusters_estimated"] < 1:
+        return fail(path, "expander_decomp: no cluster was certified OR estimated")
+    clusters = metrics.get("clusters")
+    if isinstance(clusters, INT) and \
+            counts["clusters_certified"] + counts["clusters_estimated"] != clusters:
+        return fail(path, f"expander_decomp: certified+estimated "
+                          f"({counts['clusters_certified']}+"
+                          f"{counts['clusters_estimated']}) != clusters ({clusters})")
+    for key in ("phi_certified_lower", "phi_estimate_min"):
+        val = metrics.get(key)
+        if not isinstance(val, NUM) or isinstance(val, bool) or \
+                not (0.0 <= val <= 1.0):
+            return fail(path, f"expander_decomp: metrics.{key} invalid ({val!r})")
+    print(f"{path}: certify split ok ({counts['clusters_certified']} certified, "
+          f"{counts['clusters_estimated']} estimated)")
     return True
 
 

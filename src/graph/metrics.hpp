@@ -156,13 +156,47 @@ struct SweepPartitionResult {
 // otherwise, with λ2 of the normalized Laplacian estimated as the Rayleigh
 // quotient of the approx_fiedler iterate. The Rayleigh quotient approaches
 // λ2 from above, so on large clusters this is an *estimate* of the Cheeger
-// lower bound, not a certified one — the cut-matching upgrade ROADMAP
-// tracks would close that gap.
+// lower bound, not a certified one. expander/cut_matching.hpp wires the
+// third tier — a certified lower bound from an embedded cut-matching game —
+// on top of this primitive (certified_phi); the PhiVerdict enum covers all
+// tiers so every consumer can surface which guarantee it actually holds.
+
+/// Which guarantee a PhiCertificate carries. Degenerate inputs get explicit
+/// verdicts (enforced by tests/test_fuzz.cpp::fuzz_phi_degenerate):
+///   * isolated (degree-0) vertices are stripped first — they contribute
+///     neither volume nor cut, so zero-volume sides never enter the minimum;
+///   * kTrivial — at most one vertex remains after stripping (empty graph,
+///     single vertex, edgeless cluster): phi = 1 by convention, exact;
+///   * kDisconnected — at least two edge-bearing components remain: the
+///     component cut has zero crossing edges and positive volume on both
+///     sides, so phi = 0, exact;
+///   * kExact — brute-force minimum over all 2^(n-1) cuts (n <= exact_cap);
+///   * kCutMatching — certified lower bound replayed from an embedded
+///     matching union (set by expander::certified_phi, never here);
+///   * kCheeger — Rayleigh-quotient λ2/2 estimate. NOT a bound: the only
+///     verdict for which `phi` may exceed the true conductance.
+enum class PhiVerdict { kTrivial, kDisconnected, kExact, kCutMatching, kCheeger };
 
 struct PhiCertificate {
-  double phi = 1.0;   // certified/estimated conductance lower bound
-  bool exact = false; // true when phi is the exact minimum conductance
+  double phi = 1.0;   // conductance lower bound, or estimate under kCheeger
+  bool exact = false; // phi is the exact minimum (kTrivial/kDisconnected/kExact)
+  PhiVerdict verdict = PhiVerdict::kTrivial;
+
+  /// True when phi is a sound lower bound on the conductance (every verdict
+  /// except the Cheeger estimate).
+  bool certified_lower() const { return verdict != PhiVerdict::kCheeger; }
 };
+
+/// Vertices of positive degree — the support conductance actually ranges
+/// over. Shared by phi_certificate and the cut-matching tier so both tiers
+/// agree on what the degenerate inputs mean.
+inline std::vector<int> non_isolated_vertices(const Graph& g) {
+  std::vector<int> verts;
+  for (int v = 0; v < g.n(); ++v) {
+    if (g.degree(v) > 0) verts.push_back(v);
+  }
+  return verts;
+}
 
 /// Conductance certificate for a cluster. `exact_cap` selects the exact
 /// enumeration path for graphs of at most that many vertices — it DEFAULTS
@@ -172,41 +206,58 @@ struct PhiCertificate {
 /// "exact at <= 20 vertices, Cheeger estimate above". Above the effective
 /// cap, phi is the λ2/2 Cheeger value with λ2 estimated as the Rayleigh
 /// quotient of `power_iters` approx_fiedler iterations — an estimate that
-/// approaches λ2 from above, i.e. not a certified lower bound (exact =
-/// false); see the section comment above.
+/// approaches λ2 from above, i.e. not a certified lower bound (verdict
+/// kCheeger, exact = false). Degenerate inputs (isolated vertices,
+/// disconnected clusters, edgeless graphs) get the explicit verdicts
+/// documented on PhiVerdict instead of the historical implicit behavior.
 inline PhiCertificate phi_certificate(const Graph& g, int exact_cap = 12,
                                       int power_iters = 60) {
   PhiCertificate out;
-  const int n = g.n();
-  if (n <= 1 || g.m() == 0) {
+  // Zero-volume sides cannot enter the conductance minimum, so isolated
+  // vertices are invisible to it: certify the positive-degree core instead.
+  const std::vector<int> support = non_isolated_vertices(g);
+  if (support.size() <= 1) {
     out.exact = true;
+    out.verdict = PhiVerdict::kTrivial;
     return out;  // trivially well-connected (phi = 1 by convention)
   }
+  const InducedSubgraph core = induced_subgraph(g, support);
+  if (!is_connected(core.graph)) {
+    // Two edge-bearing components: the component cut is crossed by no edge
+    // and both sides carry volume, so the minimum conductance is exactly 0.
+    out.phi = 0.0;
+    out.exact = true;
+    out.verdict = PhiVerdict::kDisconnected;
+    return out;
+  }
+  const int n = core.graph.n();
   // The exact path enumerates 2^(n-1) subsets: clamp the caller's cap so a
   // generous knob can neither hang nor overflow the 32-bit mask below.
   exact_cap = std::min(exact_cap, 20);
   if (n <= exact_cap) {
     out.exact = true;
+    out.verdict = PhiVerdict::kExact;
     std::vector<char> side(n, 0);
     double best = 1.0;
     for (std::uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
       for (int v = 0; v < n - 1; ++v) side[v] = (mask >> v) & 1u;
-      best = std::min(best, cut_conductance(g, side));
+      best = std::min(best, cut_conductance(core.graph, side));
     }
     out.phi = best;
     return out;
   }
-  const std::vector<double> x = approx_fiedler(g, 0x517cc1b727220a95ULL,
+  const std::vector<double> x = approx_fiedler(core.graph, 0x517cc1b727220a95ULL,
                                                power_iters);
   double num = 0.0, den = 0.0;
   for (int u = 0; u < n; ++u) {
-    den += g.degree(u) * x[u] * x[u];
-    for (int w : g.neighbors(u)) {
+    den += core.graph.degree(u) * x[u] * x[u];
+    for (int w : core.graph.neighbors(u)) {
       if (u < w) num += (x[u] - x[w]) * (x[u] - x[w]);
     }
   }
   const double lambda2 = den <= 1e-300 ? 2.0 : num / den;
   out.phi = std::min(1.0, lambda2 / 2.0);
+  out.verdict = PhiVerdict::kCheeger;
   return out;
 }
 
