@@ -35,6 +35,15 @@ audit (docs/ARCHITECTURE.md, "Conductance certification"): certify_ok must
 be 1, the certified/estimated cluster counts must be non-negative, sum to
 the cluster count, and cover at least one cluster, and both phi columns
 must be genuine conductances in [0, 1].
+
+bench_route_serve (bench == "route_serve") additionally publishes the
+query-serving columns (docs/BENCHMARKS.md, E-RSERVE): positive qps for
+every mix, latency percentiles that are positive and ordered
+(p50 <= p90 <= p99), a positive table bytes/vertex figure, the
+flat-vs-pointer-walk equivalence gate (equiv_ok == 1 over >= 1 sampled
+pairs), and multi-thread throughput no worse than single-thread. The
+multi-thread floor tolerates 15% timing noise on few-core CI runners; on a
+one-thread host the bench reports multi == single by construction.
 """
 import glob
 import json
@@ -118,6 +127,8 @@ def check_file(path):
         return False
     if doc["bench"] == "expander_decomp" and not check_expander_decomp(path, doc):
         return False
+    if doc["bench"] == "route_serve" and not check_route_serve(path, doc):
+        return False
 
     print(f"{path}: ok ({len(phases)} phases, {messages_sum} messages)")
     return True
@@ -186,6 +197,62 @@ def check_expander_decomp(path, doc):
             return fail(path, f"expander_decomp: metrics.{key} invalid ({val!r})")
     print(f"{path}: certify split ok ({counts['clusters_certified']} certified, "
           f"{counts['clusters_estimated']} estimated)")
+    return True
+
+
+def check_route_serve(path, doc):
+    """bench_route_serve extras: qps/latency/bytes columns + the gates."""
+    metrics = doc["metrics"]
+    if metrics.get("equiv_ok") != 1:
+        return fail(path, f"route_serve: equiv_ok is "
+                          f"{metrics.get('equiv_ok')!r}, expected 1")
+    equiv_pairs = metrics.get("equiv_pairs")
+    if not isinstance(equiv_pairs, INT) or equiv_pairs < 1:
+        return fail(path, f"route_serve: equiv_pairs invalid ({equiv_pairs!r})")
+    threads = metrics.get("threads_actual")
+    if not isinstance(threads, INT) or threads < 1:
+        return fail(path, f"route_serve: threads_actual invalid ({threads!r})")
+    qps = {}
+    for key in ("qps_cold_single", "qps_uniform_single", "qps_uniform_multi",
+                "qps_zipf_multi"):
+        val = metrics.get(key)
+        if not isinstance(val, NUM) or isinstance(val, bool) or val <= 0:
+            return fail(path, f"route_serve: metrics.{key} invalid ({val!r})")
+        qps[key] = val
+    # The acceptance gate: serving must scale, never anti-scale. A 15%
+    # tolerance absorbs timing noise on few-core CI runners; a one-thread
+    # host reports multi == single by construction, which passes exactly.
+    if qps["qps_uniform_multi"] < 0.85 * qps["qps_uniform_single"]:
+        return fail(path, f"route_serve: multi-thread qps "
+                          f"({qps['qps_uniform_multi']}) below single-thread "
+                          f"({qps['qps_uniform_single']})")
+    lat = {}
+    for key in ("p50_lookup_ns", "p90_lookup_ns", "p99_lookup_ns"):
+        val = metrics.get(key)
+        if not isinstance(val, NUM) or isinstance(val, bool) or val <= 0:
+            return fail(path, f"route_serve: metrics.{key} invalid ({val!r})")
+        lat[key] = val
+    if not lat["p50_lookup_ns"] <= lat["p90_lookup_ns"] <= lat["p99_lookup_ns"]:
+        return fail(path, f"route_serve: latency percentiles out of order "
+                          f"({lat})")
+    samples = metrics.get("latency_samples")
+    if not isinstance(samples, INT) or samples < 1:
+        return fail(path, f"route_serve: latency_samples invalid ({samples!r})")
+    bpv = metrics.get("bytes_per_vertex")
+    if not isinstance(bpv, NUM) or isinstance(bpv, bool) or bpv <= 0:
+        return fail(path, f"route_serve: bytes_per_vertex invalid ({bpv!r})")
+    delivered = metrics.get("delivered_fraction")
+    if not isinstance(delivered, NUM) or isinstance(delivered, bool) or \
+            not (0.0 <= delivered <= 1.0):
+        return fail(path, f"route_serve: delivered_fraction invalid "
+                          f"({delivered!r})")
+    stretch = metrics.get("avg_stretch")
+    if not isinstance(stretch, NUM) or isinstance(stretch, bool) or stretch < 1.0:
+        return fail(path, f"route_serve: avg_stretch invalid ({stretch!r})")
+    print(f"{path}: route_serve gates ok "
+          f"({qps['qps_uniform_multi']:.0f} qps multi / "
+          f"{qps['qps_uniform_single']:.0f} qps single, "
+          f"p99 {lat['p99_lookup_ns']:.0f} ns)")
     return True
 
 

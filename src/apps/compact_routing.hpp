@@ -18,6 +18,20 @@
 // cluster-tree path, crosses it, and repeats; inside the final cluster it
 // tree-routes to v. Cost is at most 2D + 1 hops per cluster-tree hop — the
 // O(D)-per-hop stretch shape the bench measures.
+//
+// Two execution tiers serve queries over the same tables:
+//   * RoutingScheme + route_hops — the pointer-walk serial reference
+//     (per-vertex child vectors, a std::map of portals). Kept verbatim as
+//     the equivalence gate per the PR 6 serial-reference contract.
+//   * FlatRoutingTables + flat_route_hops / serve_route_queries — the
+//     query-serving tier: both levels flattened into contiguous record
+//     arrays plus CSR child lists keyed by DFS-interval entry time, so the
+//     descend step is a binary search over a cache-resident slice and a
+//     climb touches one 24-byte record. The tables are immutable after
+//     flatten_routing_scheme, so serve_route_queries fans queries across a
+//     congest::ShardPool with zero locks on the hot path (each chunk writes
+//     a disjoint output slice). tests/test_route_serve.cpp pins the flat
+//     routes bit-identical to route_hops on every family.
 #pragma once
 
 #include <algorithm>
@@ -28,6 +42,7 @@
 #include <vector>
 
 #include "congest/runtime.hpp"
+#include "congest/shard.hpp"
 #include "decomp/clustering.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
@@ -90,7 +105,10 @@ namespace detail {
 
 /// Hops of the tree route src -> dst inside one cluster tree: climb while
 /// dst's interval is not below, then descend into the containing child.
-inline int tree_route_hops(const RoutingScheme& s, int src, int dst) {
+/// If `path` is given, every vertex after src is appended in visit order —
+/// the equivalence gate compares these sequences against the flat engine.
+inline int tree_route_hops(const RoutingScheme& s, int src, int dst,
+                           std::vector<int>* path = nullptr) {
   int hops = 0, cur = src;
   while (cur != dst) {
     if (s.tin[cur] <= s.tin[dst] && s.tin[dst] <= s.tout[cur]) {
@@ -107,6 +125,7 @@ inline int tree_route_hops(const RoutingScheme& s, int src, int dst) {
       if (s.up[cur] < 0) return -1;
       cur = s.up[cur];
     }
+    if (path != nullptr) path->push_back(cur);
     ++hops;
   }
   return hops;
@@ -240,8 +259,11 @@ inline RoutingScheme build_routing_scheme(const Graph& g,
 
 /// Route u -> v through the scheme; returns hop count, or -1 if
 /// undeliverable (different components). Never inspects the graph beyond
-/// the tables.
-inline int route_hops(const RoutingScheme& s, int u, int v) {
+/// the tables. This is the pointer-walk serial reference the flattened
+/// engine below is equivalence-gated against (the PR 6 contract); if `path`
+/// is given, every vertex after u is appended in visit order.
+inline int route_hops(const RoutingScheme& s, int u, int v,
+                      std::vector<int>* path = nullptr) {
   int hops = 0, cur = u;
   int guard = 8 * s.n + 8;  // defensive loop cap
   while (s.cluster[cur] != s.cluster[v]) {
@@ -261,13 +283,14 @@ inline int route_hops(const RoutingScheme& s, int u, int v) {
     if (d < 0) return -1;  // different components
     const auto it = s.portal.find({c, d});
     if (it == s.portal.end()) return -1;
-    const int up_hops = detail::tree_route_hops(s, cur, it->second.first);
+    const int up_hops = detail::tree_route_hops(s, cur, it->second.first, path);
     if (up_hops < 0) return -1;
     hops += up_hops + 1;  // to the portal vertex, then across the edge
     cur = it->second.second;
+    if (path != nullptr) path->push_back(cur);
     if ((guard -= up_hops + 1) < 0) return -1;
   }
-  const int down = detail::tree_route_hops(s, cur, v);
+  const int down = detail::tree_route_hops(s, cur, v, path);
   return down < 0 ? -1 : hops + down;
 }
 
@@ -299,6 +322,240 @@ inline StretchStats measure_stretch(const Graph& g, const RoutingScheme& s,
                    : static_cast<double>(delivered) / static_cast<double>(sampled);
   st.avg_stretch = delivered == 0 ? 0.0 : sum / delivered;
   return st;
+}
+
+// ---------------------------------------------------------------------------
+// The flattened query-serving tier.
+// ---------------------------------------------------------------------------
+
+/// RoutingScheme flattened into contiguous, cache-friendly arrays: one
+/// record array plus one CSR child-list array per level. Child lists are
+/// stored in ascending DFS-entry-time order (which is how the builder
+/// emits them), so the interval descend step is a binary search for the
+/// last child whose entry time is <= the target's — child intervals tile
+/// the parent's, so that child is the unique containing one. Immutable
+/// after flatten_routing_scheme; safe for concurrent readers.
+struct FlatRoutingTables {
+  /// Level-0 per-vertex record: everything a climb/descend step reads.
+  struct VertexRec {
+    std::int32_t cluster = -1;  // cluster id
+    std::int32_t up = -1;       // BFS-tree parent toward the center
+    std::int32_t tin = 0, tout = 0;            // own DFS interval
+    std::int32_t kids_begin = 0, kids_end = 0; // slice of `child`
+  };
+  /// Level-0 CSR payload: (entry time, vertex id) per tree child.
+  struct ChildRec {
+    std::int32_t tin = 0;  // the binary-search key
+    std::int32_t id = -1;  // the hop target
+  };
+  /// Level-1 per-cluster record (what the pointer scheme keeps at the
+  /// center), including the portal toward the cluster-tree parent.
+  struct ClusterRec {
+    std::int32_t parent = -1;
+    std::int32_t ctin = 0, ctout = 0;
+    std::int32_t kids_begin = 0, kids_end = 0;  // slice of `cchild`
+    std::int32_t portal_src = -1, portal_dst = -1;  // toward parent
+  };
+  /// Level-1 CSR payload: child cluster + the portal edge into it.
+  struct ClusterChildRec {
+    std::int32_t ctin = 0;
+    std::int32_t id = -1;
+    std::int32_t portal_src = -1, portal_dst = -1;
+  };
+
+  int n = 0, k = 0;
+  std::vector<VertexRec> vertex;       // size n
+  std::vector<ChildRec> child;         // size n - #cluster-centers
+  std::vector<ClusterRec> cluster;     // size k
+  std::vector<ClusterChildRec> cchild; // size k - #cluster-tree-roots
+
+  /// Measured footprint of the four arrays — what the serving bench
+  /// reports as bytes/vertex (the flat analogue of table_bits()).
+  std::int64_t table_bytes() const {
+    return static_cast<std::int64_t>(vertex.size() * sizeof(VertexRec)) +
+           static_cast<std::int64_t>(child.size() * sizeof(ChildRec)) +
+           static_cast<std::int64_t>(cluster.size() * sizeof(ClusterRec)) +
+           static_cast<std::int64_t>(cchild.size() * sizeof(ClusterChildRec));
+  }
+  double bytes_per_vertex() const {
+    return n == 0 ? 0.0
+                  : static_cast<double>(table_bytes()) / static_cast<double>(n);
+  }
+};
+
+/// Flatten a built RoutingScheme. Pure layout transformation: every field is
+/// copied, none recomputed, so the flat engine can only route exactly as the
+/// pointer walk does.
+inline FlatRoutingTables flatten_routing_scheme(const RoutingScheme& s) {
+  FlatRoutingTables t;
+  t.n = s.n;
+  t.k = s.k;
+  t.vertex.resize(static_cast<std::size_t>(s.n));
+  std::size_t kids_total = 0;
+  for (int v = 0; v < s.n; ++v) kids_total += s.kids[v].size();
+  t.child.reserve(kids_total);
+  for (int v = 0; v < s.n; ++v) {
+    FlatRoutingTables::VertexRec& r = t.vertex[static_cast<std::size_t>(v)];
+    r.cluster = s.cluster[v];
+    r.up = s.up[v];
+    r.tin = s.tin[v];
+    r.tout = s.tout[v];
+    r.kids_begin = static_cast<std::int32_t>(t.child.size());
+    for (int ch : s.kids[v]) {  // already in ascending-tin (DFS) order
+      t.child.push_back({s.tin[ch], ch});
+    }
+    r.kids_end = static_cast<std::int32_t>(t.child.size());
+  }
+  t.cluster.resize(static_cast<std::size_t>(s.k));
+  std::size_t ckids_total = 0;
+  for (int c = 0; c < s.k; ++c) ckids_total += s.ckids[c].size();
+  t.cchild.reserve(ckids_total);
+  for (int c = 0; c < s.k; ++c) {
+    FlatRoutingTables::ClusterRec& r = t.cluster[static_cast<std::size_t>(c)];
+    r.parent = s.cparent[c];
+    r.ctin = s.ctin[c];
+    r.ctout = s.ctout[c];
+    if (r.parent >= 0) {
+      const auto it = s.portal.find({c, r.parent});
+      if (it != s.portal.end()) {
+        r.portal_src = it->second.first;
+        r.portal_dst = it->second.second;
+      }
+    }
+    r.kids_begin = static_cast<std::int32_t>(t.cchild.size());
+    for (int d : s.ckids[c]) {  // ascending-ctin order by construction
+      FlatRoutingTables::ClusterChildRec cc;
+      cc.ctin = s.ctin[d];
+      cc.id = d;
+      const auto it = s.portal.find({c, d});
+      if (it != s.portal.end()) {
+        cc.portal_src = it->second.first;
+        cc.portal_dst = it->second.second;
+      }
+      t.cchild.push_back(cc);
+    }
+    r.kids_end = static_cast<std::int32_t>(t.cchild.size());
+  }
+  return t;
+}
+
+namespace detail {
+
+/// Flat tree route src -> dst inside one cluster tree; same climb/descend
+/// walk as tree_route_hops, with the descend resolved by binary search over
+/// the CSR child slice instead of a linear interval scan. Child intervals
+/// tile the parent's interval, so "last child with tin <= dst's tin" is the
+/// unique containing child the reference's scan finds.
+inline int flat_tree_route_hops(const FlatRoutingTables& t, int src, int dst,
+                                std::vector<int>* path = nullptr) {
+  const std::int32_t dtin = t.vertex[static_cast<std::size_t>(dst)].tin;
+  int hops = 0, cur = src;
+  while (cur != dst) {
+    const FlatRoutingTables::VertexRec& r =
+        t.vertex[static_cast<std::size_t>(cur)];
+    if (r.tin <= dtin && dtin <= r.tout) {
+      const FlatRoutingTables::ChildRec* first = t.child.data() + r.kids_begin;
+      const FlatRoutingTables::ChildRec* last = t.child.data() + r.kids_end;
+      const FlatRoutingTables::ChildRec* it = std::upper_bound(
+          first, last, dtin,
+          [](std::int32_t key, const FlatRoutingTables::ChildRec& c) {
+            return key < c.tin;
+          });
+      if (it == first) return -1;  // corrupt labels; cannot happen on a tree
+      cur = (it - 1)->id;
+    } else {
+      if (r.up < 0) return -1;
+      cur = r.up;
+    }
+    if (path != nullptr) path->push_back(cur);
+    ++hops;
+  }
+  return hops;
+}
+
+}  // namespace detail
+
+/// Route u -> v from the flattened tables; identical semantics, hop counts
+/// and visited-vertex sequences to route_hops (the equivalence-gated
+/// contract). Read-only: safe to call concurrently from many threads.
+inline int flat_route_hops(const FlatRoutingTables& t, int u, int v,
+                           std::vector<int>* path = nullptr) {
+  int hops = 0, cur = u;
+  int guard = 8 * t.n + 8;  // defensive loop cap (matches the reference)
+  const std::int32_t tc = t.vertex[static_cast<std::size_t>(v)].cluster;
+  const std::int32_t tctin = t.cluster[static_cast<std::size_t>(tc)].ctin;
+  while (t.vertex[static_cast<std::size_t>(cur)].cluster != tc) {
+    const FlatRoutingTables::ClusterRec& cr =
+        t.cluster[static_cast<std::size_t>(
+            t.vertex[static_cast<std::size_t>(cur)].cluster)];
+    std::int32_t psrc = -1, pdst = -1;
+    if (cr.ctin <= tctin && tctin <= cr.ctout) {
+      const FlatRoutingTables::ClusterChildRec* first =
+          t.cchild.data() + cr.kids_begin;
+      const FlatRoutingTables::ClusterChildRec* last =
+          t.cchild.data() + cr.kids_end;
+      const FlatRoutingTables::ClusterChildRec* it = std::upper_bound(
+          first, last, tctin,
+          [](std::int32_t key, const FlatRoutingTables::ClusterChildRec& c) {
+            return key < c.ctin;
+          });
+      if (it == first) return -1;
+      psrc = (it - 1)->portal_src;
+      pdst = (it - 1)->portal_dst;
+    } else {
+      if (cr.parent < 0) return -1;  // different components
+      psrc = cr.portal_src;
+      pdst = cr.portal_dst;
+    }
+    if (psrc < 0 || pdst < 0) return -1;
+    const int up_hops = detail::flat_tree_route_hops(t, cur, psrc, path);
+    if (up_hops < 0) return -1;
+    hops += up_hops + 1;  // to the portal vertex, then across the edge
+    cur = pdst;
+    if (path != nullptr) path->push_back(cur);
+    if ((guard -= up_hops + 1) < 0) return -1;
+  }
+  const int down = detail::flat_tree_route_hops(t, cur, v, path);
+  return down < 0 ? -1 : hops + down;
+}
+
+/// First hop from cur toward v — the per-packet forwarding primitive a
+/// router node would evaluate. Returns cur when cur == v, -1 when
+/// undeliverable.
+inline int flat_next_hop(const FlatRoutingTables& t, int cur, int v) {
+  if (cur == v) return cur;
+  std::vector<int> path;
+  path.reserve(1);
+  // One walk step is enough: route the packet and take the first vertex.
+  // (flat_route_hops appends hops in order, so path[0] is the next hop.)
+  const int hops = flat_route_hops(t, cur, v, &path);
+  return hops <= 0 || path.empty() ? -1 : path.front();
+}
+
+/// Serve a batch of (s, t) queries from the flattened tables, fanning
+/// chunks across a lent ShardPool. The tables are immutable and every chunk
+/// writes only its own slice of `out_hops`, so the hot path takes no locks
+/// and the output is independent of the thread count (the determinism gate
+/// in tests/test_route_serve.cpp). pool == nullptr or 1 thread serves
+/// inline — the serial reference path.
+inline void serve_route_queries(const FlatRoutingTables& t,
+                                const std::vector<std::pair<int, int>>& queries,
+                                std::vector<int>& out_hops,
+                                congest::ShardPool* pool = nullptr,
+                                std::int64_t grain = 4096) {
+  const std::int64_t total = static_cast<std::int64_t>(queries.size());
+  out_hops.assign(queries.size(), -1);
+  const auto body = [&](std::int64_t lo, std::int64_t hi, int /*worker*/) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto& [qs, qt] = queries[static_cast<std::size_t>(i)];
+      out_hops[static_cast<std::size_t>(i)] = flat_route_hops(t, qs, qt);
+    }
+  };
+  if (pool == nullptr || pool->threads() == 1) {
+    body(0, total, 0);
+    return;
+  }
+  congest::parallel_chunks(*pool, total, grain, body);
 }
 
 }  // namespace mfd::apps

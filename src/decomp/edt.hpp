@@ -29,9 +29,11 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "congest/shard.hpp"
 #include "decomp/clustering.hpp"
 #include "decomp/ldd_local.hpp"
 #include "graph/graph.hpp"
@@ -65,9 +67,12 @@ struct EdtParams {
   // refinement.
   double merge_filter_c = 32.0;
   int max_merge_passes = 4;  // merge sweeps over the link list
-  // Sharded round engine (kLocalContraction only): forwarded to
-  // LocalLddParams::threads. 1 = serial reference; results are bit-identical
-  // for every value (see congest/shard.hpp).
+  // Sharded round engine: forwarded to LocalLddParams::threads under
+  // kLocalContraction; under kGlobalBfs the per-cluster BFS-wave sweep of
+  // each chop pass fans out over the same pool (clusters are
+  // vertex-disjoint, so concurrent cluster BFSes share the level array
+  // without racing). 1 = serial reference; results are bit-identical for
+  // every value (see congest/shard.hpp; gated by tests/test_shard.cpp).
   int threads = 1;
   congest::ShardPool* pool = nullptr;  // optional lent pool (benches reuse one)
 };
@@ -149,6 +154,20 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
   std::vector<int> frontier, next;
   std::int64_t cut_spent = 0;
 
+  // Sharded BFS-wave engine (ldd_local's idiom): threads == 1 and no lent
+  // pool runs every sweep inline — the serial reference path.
+  std::unique_ptr<congest::ShardPool> owned_pool;
+  congest::ShardPool* pool = params.pool;
+  if (pool == nullptr && params.threads != 1) {
+    owned_pool = std::make_unique<congest::ShardPool>(params.threads);
+    pool = owned_pool.get();
+  }
+  const int workers = pool != nullptr ? pool->threads() : 1;
+  struct BfsScratch {
+    std::vector<int> frontier, next;
+  };
+  std::vector<BfsScratch> scratch(static_cast<std::size_t>(workers));
+
   for (int iter = 0; iter < params.max_iterations; ++iter) {
     // Roots: minimum-id vertex of each cluster.
     root_of.assign(k, -1);
@@ -157,28 +176,51 @@ inline EdtDecomposition build_edt_decomposition(const Graph& g, double eps,
     }
     // Cluster-local BFS levels (one simulated parallel BFS over all
     // clusters). Measured traffic: the BFS wave crosses each intra-cluster
-    // directed edge once.
+    // directed edge once. One pool task per cluster: clusters are
+    // vertex-disjoint, so concurrent cluster BFSes share `lev` without
+    // racing (a BFS only touches vertices of its own label); per-cluster
+    // message counts and depths fold in cluster order, so the sweep is
+    // bit-identical to the serial reference for every thread count.
     std::fill(lev.begin(), lev.end(), -1);
     int max_depth = 0;
     std::int64_t pass_msgs = 0;
-    for (int c = 0; c < k; ++c) {
-      const int src = root_of[c];
-      lev[src] = 0;
-      frontier.assign(1, src);
-      while (!frontier.empty()) {
-        next.clear();
-        for (int u : frontier) {
-          for (int nb : g.neighbors(u)) {
-            if (label[nb] != label[u]) continue;
-            ++pass_msgs;  // BFS wave over directed edge (u, nb)
-            if (lev[nb] < 0) {
-              lev[nb] = lev[u] + 1;
-              max_depth = std::max(max_depth, lev[nb]);
-              next.push_back(nb);
+    {
+      std::vector<std::int64_t> bfs_msgs(static_cast<std::size_t>(k), 0);
+      std::vector<int> depth_of(static_cast<std::size_t>(k), 0);
+      const auto bfs_cluster = [&](int c, BfsScratch& sc) {
+        const int src = root_of[c];
+        lev[src] = 0;
+        sc.frontier.assign(1, src);
+        int depth = 0;
+        std::int64_t msgs = 0;
+        while (!sc.frontier.empty()) {
+          sc.next.clear();
+          for (int u : sc.frontier) {
+            for (int nb : g.neighbors(u)) {
+              if (label[nb] != label[u]) continue;
+              ++msgs;  // BFS wave over directed edge (u, nb)
+              if (lev[nb] < 0) {
+                lev[nb] = lev[u] + 1;
+                depth = std::max(depth, lev[nb]);
+                sc.next.push_back(nb);
+              }
             }
           }
+          std::swap(sc.frontier, sc.next);
         }
-        std::swap(frontier, next);
+        bfs_msgs[static_cast<std::size_t>(c)] = msgs;
+        depth_of[static_cast<std::size_t>(c)] = depth;
+      };
+      if (pool == nullptr || pool->threads() == 1) {
+        for (int c = 0; c < k; ++c) bfs_cluster(c, scratch[0]);
+      } else {
+        pool->run(k, [&](int c, int worker) {
+          bfs_cluster(c, scratch[static_cast<std::size_t>(worker)]);
+        });
+      }
+      for (int c = 0; c < k; ++c) {
+        pass_msgs += bfs_msgs[static_cast<std::size_t>(c)];
+        max_depth = std::max(max_depth, depth_of[static_cast<std::size_t>(c)]);
       }
     }
 

@@ -4,8 +4,10 @@
 // fully determined by its --seed flag; nothing reads global entropy.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace mfd {
 
@@ -66,6 +68,41 @@ class Rng {
   }
 
   std::uint64_t state_[4];
+};
+
+/// Zipf(s) sampler over ranks [0, n): P(rank r) proportional to 1/(r+1)^s.
+/// The normalized CDF is precomputed once (O(n) doubles) and each draw is a
+/// binary search over it, so sampling is O(log n) and — because all the
+/// randomness comes from the caller's Rng stream — a query mix is fully
+/// reproducible from the run's --seed. Rank 0 carries the head mass
+/// 1/H_{n,s}, which the unit test pins against the empirical frequency.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s)
+      : cdf_(static_cast<std::size_t>(std::max(n, 1))) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < cdf_.size(); ++r) {
+      acc += std::pow(static_cast<double>(r) + 1.0, -s);
+      cdf_[r] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+  /// Exact head-mass of rank 0 under the built distribution.
+  double head_mass() const { return cdf_[0]; }
+
+  /// Draw a rank in [0, n) using the caller's stream.
+  int sample(Rng& rng) const {
+    const double u = rng.uniform();
+    const std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    return static_cast<int>(std::min(idx, cdf_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cdf_;  // ascending, last entry 1.0
 };
 
 }  // namespace mfd

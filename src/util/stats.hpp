@@ -1,9 +1,13 @@
-// Streaming statistics over doubles; used to average randomized runs.
+// Streaming statistics over doubles; used to average randomized runs, plus
+// the latency-sample helpers the query-serving benches report from:
+// nearest-rank percentiles (p50/p90/p99) and a fixed-bucket log2 histogram.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace mfd {
 
@@ -27,6 +31,93 @@ class Accumulator {
   std::int64_t count_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Nearest-rank percentile over an ascending-sorted sample: the smallest
+/// value such that at least p% of the sample is <= it. p is clamped to
+/// [0, 100]; an empty sample yields 0.
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t idx =
+      static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// The latency columns every serving bench reports. Units are whatever the
+/// caller sampled in (bench_route_serve samples nanoseconds).
+struct LatencySummary {
+  std::int64_t count = 0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  double mean = 0.0, max = 0.0;
+};
+
+/// Sorts `samples` ascending in place and summarizes it. Empty input yields
+/// an all-zero summary.
+inline LatencySummary summarize_latency(std::vector<double>& samples) {
+  LatencySummary out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = static_cast<std::int64_t>(samples.size());
+  out.p50 = percentile_sorted(samples, 50.0);
+  out.p90 = percentile_sorted(samples, 90.0);
+  out.p99 = percentile_sorted(samples, 99.0);
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  out.mean = sum / static_cast<double>(samples.size());
+  out.max = samples.back();
+  return out;
+}
+
+/// Fixed-bucket log2 histogram. Bucket 0 counts values < 1 (including
+/// non-positive ones); bucket i >= 1 counts values in [2^(i-1), 2^i); values
+/// at or beyond the top bucket's range clamp into the last bucket. The
+/// bucket count is fixed at construction so concurrent readers can size
+/// tables up front.
+class Log2Histogram {
+ public:
+  explicit Log2Histogram(int buckets = 40)
+      : counts_(static_cast<std::size_t>(std::max(buckets, 1)), 0) {}
+
+  void add(double v) {
+    int idx = 0;
+    if (v >= 1.0 && std::isfinite(v)) {
+      int e = 0;
+      std::frexp(v, &e);  // v = f * 2^e with f in [0.5, 1) => bucket e
+      idx = std::min(e, static_cast<int>(counts_.size()) - 1);
+    } else if (!std::isfinite(v) && v > 0.0) {
+      idx = static_cast<int>(counts_.size()) - 1;
+    }
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  std::int64_t count(int bucket) const {
+    return counts_[static_cast<std::size_t>(bucket)];
+  }
+  std::int64_t total() const { return total_; }
+
+  /// Inclusive-exclusive value range [lo, hi) of a bucket (bucket 0 is
+  /// [0, 1); the last bucket is open-ended above its lo).
+  static double bucket_lo(int bucket) {
+    return bucket == 0 ? 0.0 : std::ldexp(1.0, bucket - 1);
+  }
+  static double bucket_hi(int bucket) { return std::ldexp(1.0, bucket); }
+
+  /// Highest non-empty bucket index, or -1 on an empty histogram — lets
+  /// printers skip the all-zero tail.
+  int max_nonempty() const {
+    for (int b = buckets() - 1; b >= 0; --b) {
+      if (count(b) > 0) return b;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
 };
 
 }  // namespace mfd

@@ -1,0 +1,199 @@
+// The flattened query-serving tier's contracts (apps/compact_routing.hpp):
+//   * flat_route_hops is bit-identical to the pointer-walk reference
+//     route_hops — hop counts AND visited-vertex sequences — on all 11
+//     graph families at n <= 4k, across eps values (the PR 6
+//     serial-reference rule applied to the read path);
+//   * table byte accounting: the flat arrays have exactly the structural
+//     sizes the two-level scheme implies, and table_bytes() sums them;
+//   * serve_route_queries is deterministic across thread counts {1, 2, hw}
+//     and grains, and equals the per-query serial loop;
+//   * undeliverable (cross-component) queries answer -1 in both engines.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/compact_routing.hpp"
+#include "bench_common.hpp"
+#include "congest/shard.hpp"
+#include "decomp/edt.hpp"
+#include "graph/ops.hpp"
+#include "test_main.hpp"
+
+using namespace mfd;
+
+namespace {
+
+const char* kFamilies[] = {"planar",  "planar-sparse", "grid",
+                           "torus",   "outerplanar",   "tree",
+                           "cycle",   "path",          "cactus",
+                           "ktree3",  "series-parallel"};
+
+struct Built {
+  Graph g;
+  apps::RoutingScheme scheme;
+  apps::FlatRoutingTables flat;
+};
+
+Built build(const std::string& family, int n, double eps, Rng& rng) {
+  Built b;
+  b.g = bench::make_family(family, n, rng);
+  const decomp::EdtDecomposition edt = decomp::build_edt_decomposition(b.g, eps);
+  b.scheme = apps::build_routing_scheme(b.g, edt.clustering);
+  b.flat = apps::flatten_routing_scheme(b.scheme);
+  return b;
+}
+
+}  // namespace
+
+TEST_CASE(flat_routes_match_pointer_walk_all_families) {
+  Rng rng(31);
+  for (const char* fam : kFamilies) {
+    for (double eps : {0.5, 0.25}) {
+      const Built b = build(fam, 600, eps, rng);
+      const std::string ctx = std::string(fam) + " eps=" + Table::num(eps, 2);
+      int delivered_ref = 0, delivered_flat = 0;
+      std::vector<int> ref_path, flat_path;
+      for (int trial = 0; trial < 300; ++trial) {
+        const int u = static_cast<int>(rng.next_below(b.g.n()));
+        const int v = static_cast<int>(rng.next_below(b.g.n()));
+        ref_path.clear();
+        flat_path.clear();
+        const int rh = apps::route_hops(b.scheme, u, v, &ref_path);
+        const int fh = apps::flat_route_hops(b.flat, u, v, &flat_path);
+        CHECK_MSG(rh == fh, ctx + ": hops diverged " + std::to_string(u) +
+                                " -> " + std::to_string(v));
+        CHECK_MSG(ref_path == flat_path,
+                  ctx + ": path diverged " + std::to_string(u) + " -> " +
+                      std::to_string(v));
+        delivered_ref += rh >= 0 ? 1 : 0;
+        delivered_flat += fh >= 0 ? 1 : 0;
+        if (rh >= 0) {
+          // A delivered path really is a hop sequence ending at the target.
+          CHECK_MSG(static_cast<int>(flat_path.size()) == fh, ctx);
+          if (fh > 0) CHECK_MSG(flat_path.back() == v, ctx);
+        }
+      }
+      CHECK_MSG(delivered_ref == delivered_flat, ctx);
+      CHECK_MSG(delivered_ref == 300, ctx + ": connected family must deliver");
+    }
+  }
+}
+
+TEST_CASE(flat_next_hop_first_step_of_route) {
+  Rng rng(32);
+  const Built b = build("grid", 900, 0.3, rng);
+  std::vector<int> path;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int u = static_cast<int>(rng.next_below(b.g.n()));
+    const int v = static_cast<int>(rng.next_below(b.g.n()));
+    path.clear();
+    const int hops = apps::flat_route_hops(b.flat, u, v, &path);
+    const int nh = apps::flat_next_hop(b.flat, u, v);
+    if (u == v) {
+      CHECK(nh == u);
+    } else if (hops > 0) {
+      CHECK(nh == path.front());
+      CHECK(b.g.has_edge(u, nh));  // the next hop is a real neighbor
+    }
+  }
+}
+
+TEST_CASE(flat_table_byte_accounting) {
+  Rng rng(33);
+  for (const char* fam : {"grid", "tree", "cactus"}) {
+    const Built b = build(fam, 700, 0.3, rng);
+    const apps::FlatRoutingTables& t = b.flat;
+    const std::string ctx = fam;
+    CHECK_MSG(static_cast<int>(t.vertex.size()) == t.n, ctx);
+    CHECK_MSG(static_cast<int>(t.cluster.size()) == t.k, ctx);
+    // Every vertex except each cluster's center is someone's tree child,
+    // and every cluster except each component's cluster-tree root is a
+    // cluster-tree child: the CSR payloads account for exactly those.
+    int centers = 0;
+    for (int c = 0; c < t.k; ++c) centers += b.scheme.center[c] >= 0 ? 1 : 0;
+    int ctree_roots = 0;
+    for (int c = 0; c < t.k; ++c) ctree_roots += t.cluster[c].parent < 0 ? 1 : 0;
+    CHECK_MSG(static_cast<int>(t.child.size()) == t.n - centers, ctx);
+    CHECK_MSG(static_cast<int>(t.cchild.size()) == t.k - ctree_roots, ctx);
+    // table_bytes() must account every array — the bench's bytes/vertex
+    // column is this sum and nothing else.
+    const std::int64_t expect =
+        static_cast<std::int64_t>(
+            t.vertex.size() * sizeof(apps::FlatRoutingTables::VertexRec)) +
+        static_cast<std::int64_t>(
+            t.child.size() * sizeof(apps::FlatRoutingTables::ChildRec)) +
+        static_cast<std::int64_t>(
+            t.cluster.size() * sizeof(apps::FlatRoutingTables::ClusterRec)) +
+        static_cast<std::int64_t>(
+            t.cchild.size() * sizeof(apps::FlatRoutingTables::ClusterChildRec));
+    CHECK_MSG(t.table_bytes() == expect, ctx);
+    CHECK_MSG(t.bytes_per_vertex() * t.n == static_cast<double>(expect), ctx);
+    // CSR slices tile the payload arrays in order.
+    std::int32_t cursor = 0;
+    for (int v = 0; v < t.n; ++v) {
+      CHECK_MSG(t.vertex[v].kids_begin == cursor, ctx);
+      CHECK_MSG(t.vertex[v].kids_end >= t.vertex[v].kids_begin, ctx);
+      cursor = t.vertex[v].kids_end;
+    }
+    CHECK_MSG(cursor == static_cast<std::int32_t>(t.child.size()), ctx);
+  }
+}
+
+TEST_CASE(serve_deterministic_across_thread_counts) {
+  Rng rng(34);
+  const Built b = build("grid", 2304, 0.3, rng);  // 48x48, n <= 4k
+  // Uniform + zipf mix, including u == v queries.
+  std::vector<std::pair<int, int>> queries;
+  const ZipfSampler zipf(b.g.n(), 1.0);
+  for (int i = 0; i < 20000; ++i) {
+    if (i % 3 == 0) {
+      queries.emplace_back(zipf.sample(rng), zipf.sample(rng));
+    } else {
+      queries.emplace_back(static_cast<int>(rng.next_below(b.g.n())),
+                           static_cast<int>(rng.next_below(b.g.n())));
+    }
+  }
+  // Serial per-query loop is the reference output.
+  std::vector<int> expect(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect[i] = apps::flat_route_hops(b.flat, queries[i].first,
+                                      queries[i].second);
+  }
+  for (int threads : {1, 2, 0}) {  // 0 = hardware_concurrency
+    congest::ShardPool pool(threads);
+    for (std::int64_t grain : {1, 7, 4096}) {
+      std::vector<int> out;
+      apps::serve_route_queries(b.flat, queries, out, &pool, grain);
+      CHECK_MSG(out == expect, "threads=" + std::to_string(pool.threads()) +
+                                   " grain=" + std::to_string(grain));
+    }
+  }
+  // No pool at all is the inline serial path.
+  std::vector<int> out;
+  apps::serve_route_queries(b.flat, queries, out, nullptr);
+  CHECK(out == expect);
+}
+
+TEST_CASE(cross_component_queries_undeliverable_in_both_engines) {
+  Rng rng(35);
+  const Graph g = disjoint_union(cycle_graph(40), path_graph(30));
+  const decomp::EdtDecomposition edt = decomp::build_edt_decomposition(g, 0.4);
+  const apps::RoutingScheme scheme = apps::build_routing_scheme(g, edt.clustering);
+  const apps::FlatRoutingTables flat = apps::flatten_routing_scheme(scheme);
+  int cross = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int u = static_cast<int>(rng.next_below(g.n()));
+    const int v = static_cast<int>(rng.next_below(g.n()));
+    const int rh = apps::route_hops(scheme, u, v);
+    const int fh = apps::flat_route_hops(flat, u, v);
+    CHECK(rh == fh);
+    const bool same_side = (u < 40) == (v < 40);
+    if (!same_side) {
+      CHECK(fh == -1);
+      ++cross;
+    } else {
+      CHECK(fh >= 0);
+    }
+  }
+  CHECK(cross > 0);  // the sweep really exercised cross-component pairs
+}

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "congest/shard.hpp"
+#include "decomp/edt.hpp"
 #include "decomp/heavy_stars.hpp"
 #include "decomp/ldd_local.hpp"
 #include "expander/rw_routing.hpp"
@@ -204,6 +205,53 @@ TEST_CASE(ldd_sharded_bit_identical_grid_torus) {
       CHECK_MSG(
           serial.ledger.peak_congestion() == sharded.ledger.peak_congestion(),
           ctx);
+    }
+  }
+}
+
+TEST_CASE(edt_global_chop_sharded_bit_identical) {
+  // The kGlobalBfs chop's per-pass BFS-wave sweep fans one task per cluster
+  // over the pool (ROADMAP item (b), first half). Clusterings, pass counts,
+  // merges, every ledger charge and the audit totals must match the serial
+  // reference bit for bit at every thread count.
+  struct Family {
+    const char* name;
+    Graph g;
+  };
+  const Family families[] = {{"grid", grid_graph(64, 64)},
+                             {"torus", torus_graph(40, 40)}};
+  for (const Family& fam : families) {
+    decomp::EdtParams serial_params;
+    serial_params.chop = decomp::EdtChop::kGlobalBfs;
+    const decomp::EdtDecomposition serial =
+        decomp::build_edt_decomposition(fam.g, 0.25, serial_params);
+    for (int threads : kThreadSweep) {
+      ShardPool pool(threads);
+      decomp::EdtParams p;
+      p.chop = decomp::EdtChop::kGlobalBfs;
+      p.pool = &pool;
+      const decomp::EdtDecomposition sharded =
+          decomp::build_edt_decomposition(fam.g, 0.25, p);
+      const std::string ctx = std::string(fam.name) +
+                              " threads=" + std::to_string(pool.threads());
+      CHECK_MSG(serial.clustering.cluster == sharded.clustering.cluster, ctx);
+      CHECK_MSG(serial.clustering.k == sharded.clustering.k, ctx);
+      CHECK_MSG(serial.iterations == sharded.iterations, ctx);
+      CHECK_MSG(serial.merges == sharded.merges, ctx);
+      CHECK_MSG(serial.quality.cut_edges == sharded.quality.cut_edges, ctx);
+      CHECK_MSG(serial.quality.max_diameter == sharded.quality.max_diameter,
+                ctx);
+      same_charges(serial.ledger, sharded.ledger, ctx);
+      CHECK_MSG(serial.ledger.total() == sharded.ledger.total(), ctx);
+      CHECK_MSG(
+          serial.ledger.total_messages() == sharded.ledger.total_messages(),
+          ctx);
+      CHECK_MSG(
+          serial.ledger.peak_congestion() == sharded.ledger.peak_congestion(),
+          ctx);
+      const AuditResult sa = serial.ledger.audit(2 * fam.g.m());
+      const AuditResult ha = sharded.ledger.audit(2 * fam.g.m());
+      CHECK_MSG(sa.ok && ha.ok, ctx);
     }
   }
 }

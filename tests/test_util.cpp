@@ -1,5 +1,7 @@
 // Unit tests for util/: Rng reproducibility, Accumulator, Cli parsing,
 // Table formatting and alignment.
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -49,6 +51,94 @@ TEST_CASE(accumulator_mean) {
   CHECK(acc.mean() == 2.5);
   CHECK(acc.min() == 1.0);
   CHECK(acc.max() == 4.0);
+}
+
+TEST_CASE(percentiles_nearest_rank) {
+  // Nearest-rank over 1..100: pN is exactly N.
+  std::vector<double> s;
+  for (int i = 1; i <= 100; ++i) s.push_back(i);
+  CHECK(percentile_sorted(s, 50.0) == 50.0);
+  CHECK(percentile_sorted(s, 90.0) == 90.0);
+  CHECK(percentile_sorted(s, 99.0) == 99.0);
+  CHECK(percentile_sorted(s, 100.0) == 100.0);
+  CHECK(percentile_sorted(s, 0.0) == 1.0);    // clamped to the first sample
+  CHECK(percentile_sorted(s, 150.0) == 100.0);  // p clamps to 100
+  const std::vector<double> one = {7.0};
+  CHECK(percentile_sorted(one, 50.0) == 7.0);
+  CHECK(percentile_sorted(one, 99.0) == 7.0);
+  const std::vector<double> none;
+  CHECK(percentile_sorted(none, 50.0) == 0.0);
+}
+
+TEST_CASE(latency_summary_sorts_and_summarizes) {
+  std::vector<double> samples = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const LatencySummary sum = summarize_latency(samples);
+  CHECK(sum.count == 5);
+  CHECK(sum.p50 == 3.0);
+  CHECK(sum.p99 == 5.0);
+  CHECK(sum.mean == 3.0);
+  CHECK(sum.max == 5.0);
+  // The input is sorted in place — the documented contract.
+  CHECK(std::is_sorted(samples.begin(), samples.end()));
+  std::vector<double> empty;
+  const LatencySummary zero = summarize_latency(empty);
+  CHECK(zero.count == 0 && zero.p50 == 0.0 && zero.max == 0.0);
+}
+
+TEST_CASE(log2_histogram_buckets) {
+  Log2Histogram h(12);
+  CHECK(h.buckets() == 12);
+  CHECK(h.max_nonempty() == -1);
+  // Bucket 0 is [0, 1); bucket i >= 1 is [2^(i-1), 2^i).
+  h.add(0.0);
+  h.add(0.5);
+  h.add(0.999);  // all bucket 0
+  h.add(1.0);    // bucket 1
+  h.add(2.0);
+  h.add(3.0);    // bucket 2
+  h.add(4.0);    // bucket 3
+  h.add(1024.0);   // bucket 11 (the last one)
+  h.add(1.0e300);  // clamps into the last bucket
+  CHECK(h.count(0) == 3);
+  CHECK(h.count(1) == 1);
+  CHECK(h.count(2) == 2);
+  CHECK(h.count(3) == 1);
+  CHECK(h.count(11) == 2);
+  CHECK(h.total() == 9);
+  CHECK(h.max_nonempty() == 11);
+  CHECK(Log2Histogram::bucket_lo(0) == 0.0);
+  CHECK(Log2Histogram::bucket_hi(0) == 1.0);
+  CHECK(Log2Histogram::bucket_lo(3) == 4.0);
+  CHECK(Log2Histogram::bucket_hi(3) == 8.0);
+}
+
+TEST_CASE(zipf_sampler_head_mass_and_determinism) {
+  const int n = 1000;
+  const ZipfSampler zipf(n, 1.0);
+  CHECK(zipf.n() == n);
+  // Exact head mass is 1/H_1000 ~ 0.1336; pin the computed CDF against an
+  // independent harmonic sum, then the empirical frequency against the CDF.
+  double harmonic = 0.0;
+  for (int r = 1; r <= n; ++r) harmonic += 1.0 / r;
+  const double expect_head = 1.0 / harmonic;
+  CHECK(std::abs(zipf.head_mass() - expect_head) < 1e-12);
+  Rng rng(7);
+  const int draws = 200000;
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < draws; ++i) {
+    const int r = zipf.sample(rng);
+    CHECK(r >= 0 && r < n);
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  const double freq0 = static_cast<double>(counts[0]) / draws;
+  CHECK_MSG(std::abs(freq0 - expect_head) < 0.008,
+            "head mass off: " + std::to_string(freq0));
+  // The head dominates the tail the way Zipf(1) must.
+  CHECK(counts[0] > counts[9]);
+  CHECK(counts[9] > counts[99]);
+  // Same seed, same stream: the mix is reproducible across runs.
+  Rng a(123), b(123);
+  for (int i = 0; i < 200; ++i) CHECK(zipf.sample(a) == zipf.sample(b));
 }
 
 TEST_CASE(cli_defaults) {
