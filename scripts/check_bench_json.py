@@ -195,8 +195,51 @@ def check_expander_decomp(path, doc):
         if not isinstance(val, NUM) or isinstance(val, bool) or \
                 not (0.0 <= val <= 1.0):
             return fail(path, f"expander_decomp: metrics.{key} invalid ({val!r})")
+    # Certify-scaling section (implicit-matrix engine): the pooled report is
+    # gated bit-identical in-binary (certify_scale_ok), the counts must cover
+    # the scaling clusters, pooled wall time must not regress past serial
+    # (15% + 25ms slack, same tolerance family as the route_serve qps gate),
+    # and at full scale a certified cluster above the old 1024 cap must exist.
+    if metrics.get("certify_scale_ok") != 1:
+        return fail(path, f"expander_decomp: certify_scale_ok is "
+                          f"{metrics.get('certify_scale_ok')!r}, expected 1")
+    scale = {}
+    for key in ("certify_scale_n", "certify_scale_clusters",
+                "certify_scale_certified", "certify_scale_estimated",
+                "max_cluster_certified", "certify_state_bytes_peak"):
+        val = metrics.get(key)
+        if not isinstance(val, INT) or isinstance(val, bool) or val < 0:
+            return fail(path, f"expander_decomp: metrics.{key} invalid ({val!r})")
+        scale[key] = val
+    if scale["certify_scale_certified"] + scale["certify_scale_estimated"] != \
+            scale["certify_scale_clusters"]:
+        return fail(path, "expander_decomp: certify_scale certified+estimated "
+                          "does not cover clusters")
+    if scale["certify_scale_n"] > 1024 and scale["max_cluster_certified"] <= 1024:
+        return fail(path, f"expander_decomp: no certified cluster above 1024 "
+                          f"vertices (max {scale['max_cluster_certified']}) at "
+                          f"certify_scale_n={scale['certify_scale_n']}")
+    n_scale = scale["certify_scale_n"]
+    if scale["certify_state_bytes_peak"] >= 8 * n_scale * n_scale:
+        return fail(path, "expander_decomp: game state high-water not below "
+                          "the dense 8*n^2 bytes")
+    walls = {}
+    for key in ("certify_wall_serial_ms", "certify_wall_pooled_ms"):
+        val = metrics.get(key)
+        if not isinstance(val, NUM) or isinstance(val, bool) or val < 0.0:
+            return fail(path, f"expander_decomp: metrics.{key} invalid ({val!r})")
+        walls[key] = val
+    if walls["certify_wall_pooled_ms"] > \
+            1.15 * walls["certify_wall_serial_ms"] + 25.0:
+        return fail(path, f"expander_decomp: pooled certify wall "
+                          f"({walls['certify_wall_pooled_ms']:.1f} ms) regressed "
+                          f"past serial ({walls['certify_wall_serial_ms']:.1f} ms)")
     print(f"{path}: certify split ok ({counts['clusters_certified']} certified, "
-          f"{counts['clusters_estimated']} estimated)")
+          f"{counts['clusters_estimated']} estimated); certify scaling ok "
+          f"(max certified cluster {scale['max_cluster_certified']} of "
+          f"n={scale['certify_scale_n']}, pooled "
+          f"{walls['certify_wall_pooled_ms']:.1f} ms vs serial "
+          f"{walls['certify_wall_serial_ms']:.1f} ms)")
     return True
 
 

@@ -33,12 +33,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "apps/blossom.hpp"
 #include "apps/exact.hpp"
 #include "congest/runtime.hpp"
+#include "congest/shard.hpp"
 #include "decomp/edt.hpp"
 #include "graph/graph.hpp"
 #include "graph/ops.hpp"
@@ -99,12 +101,52 @@ inline double clamp_eps_star(double eps_star) {
   return std::max(eps_star, 1e-6);
 }
 
+/// Sharded seam-candidate scan: collect the cut-edge pairs (u, v), u < v,
+/// for which `want(u, v)` holds on the PRE-SWEEP state, in lexicographic
+/// order. The O(m) adjacency walk is the hot part of both seam sweeps, and
+/// it reads only frozen state, so vertex ranges fan out over the pool and
+/// the per-task vectors concatenate in task order — which IS lex order,
+/// because ranges are contiguous and ascending (congest::ShardPlan).
+/// The caller replays the candidates serially with live-state checks; the
+/// monotone sweeps (in_set only falls, in_cover only rises) make that replay
+/// provably identical to the serial adjacency sweep — see each call site.
+inline std::vector<std::pair<int, int>> collect_seam_candidates(
+    const Graph& g, const std::vector<int>& cluster,
+    const std::function<bool(int, int)>& want, congest::ShardPool* pool) {
+  const auto scan = [&](int lo, int hi, std::vector<std::pair<int, int>>& out) {
+    for (int u = lo; u < hi; ++u) {
+      for (int v : g.neighbors(u)) {
+        if (u < v && cluster[u] != cluster[v] && want(u, v)) {
+          out.emplace_back(u, v);
+        }
+      }
+    }
+  };
+  if (pool == nullptr || pool->threads() == 1 || g.n() == 0) {
+    std::vector<std::pair<int, int>> out;
+    scan(0, g.n(), out);
+    return out;
+  }
+  const int tasks = std::min(g.n(), 4 * pool->threads());
+  std::vector<std::vector<std::pair<int, int>>> partial(tasks);
+  congest::parallel_ranges(*pool, g.n(), tasks,
+                           [&](int lo, int hi, int t) { scan(lo, hi, partial[t]); });
+  std::vector<std::pair<int, int>> out;
+  for (auto& p : partial) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
 }  // namespace detail
 
 /// Corollary 6.5: deterministic (1-eps)-approximate maximum independent set.
-/// alpha is the family's density bound (m <= alpha*n).
+/// alpha is the family's density bound (m <= alpha*n). `pool` shards the
+/// seam-repair candidate scan; the result is bit-identical to the serial
+/// sweep at every thread count (test_shard gates it).
 inline SetSolution approx_max_independent_set(const Graph& g, double eps,
-                                              int alpha) {
+                                              int alpha,
+                                              congest::ShardPool* pool = nullptr) {
   SetSolution out;
   const double a = std::max(alpha, 1);
   const double eps_star =
@@ -121,15 +163,21 @@ inline SetSolution approx_max_independent_set(const Graph& g, double eps,
   }
   // Seam repair: a cut edge with both endpoints chosen drops its larger
   // endpoint — at most one loss per cut edge, which eps* budgeted for.
+  // Sharded form: collect the cut pairs with both endpoints in the
+  // PRE-SWEEP set (lex order), then replay them serially with live checks.
+  // This equals the serial adjacency sweep exactly: membership only falls
+  // during the sweep, so every pair the serial sweep acts on was in the
+  // pre-sweep candidate set, and pairs whose live check fails are skipped
+  // by both versions — same drops, same conflict count, in the same order.
+  const std::vector<std::pair<int, int>> candidates =
+      detail::collect_seam_candidates(
+          g, dec.edt.clustering.cluster,
+          [&in_set](int u, int v) { return in_set[u] && in_set[v]; }, pool);
   std::int64_t conflicts = 0;
-  for (int u = 0; u < g.n(); ++u) {
-    if (!in_set[u]) continue;
-    for (int v : g.neighbors(u)) {
-      if (u < v && in_set[v] &&
-          dec.edt.clustering.cluster[u] != dec.edt.clustering.cluster[v]) {
-        in_set[v] = 0;
-        ++conflicts;
-      }
+  for (const auto& [u, v] : candidates) {
+    if (in_set[u] && in_set[v]) {
+      in_set[v] = 0;
+      ++conflicts;
     }
   }
   out.stats.runtime.charge("seam repair (1 round)", 1, conflicts,
@@ -168,7 +216,8 @@ inline MatchingSolution approx_max_matching(const Graph& g, double eps,
 /// Corollary 6.4 (cover half): deterministic (1+eps)-approximate minimum
 /// vertex cover — per-cluster exact covers plus one endpoint per cut edge.
 inline SetSolution approx_min_vertex_cover(const Graph& g, double eps,
-                                           int alpha) {
+                                           int alpha,
+                                           congest::ShardPool* pool = nullptr) {
   (void)alpha;
   SetSolution out;
   const double eps_star =
@@ -184,15 +233,21 @@ inline SetSolution approx_min_vertex_cover(const Graph& g, double eps,
     for (int i : local.set) in_cover[sub.to_parent[i]] = 1;
   }
   // Every cut edge must be covered too: take its smaller endpoint unless one
-  // endpoint is already in.
+  // endpoint is already in. Sharded like the MIS sweep — candidates are the
+  // cut pairs with both endpoints uncovered PRE-SWEEP, replayed in lex order
+  // with live checks. Coverage only rises during the sweep, so every pair
+  // the serial sweep patches was uncovered pre-sweep, and both versions skip
+  // the same live-covered pairs — identical patches, identical count.
+  const std::vector<std::pair<int, int>> candidates =
+      detail::collect_seam_candidates(
+          g, dec.edt.clustering.cluster,
+          [&in_cover](int u, int v) { return !in_cover[u] && !in_cover[v]; },
+          pool);
   std::int64_t patched = 0;
-  for (int u = 0; u < g.n(); ++u) {
-    for (int v : g.neighbors(u)) {
-      if (u < v && !in_cover[u] && !in_cover[v] &&
-          dec.edt.clustering.cluster[u] != dec.edt.clustering.cluster[v]) {
-        in_cover[u] = 1;
-        ++patched;
-      }
+  for (const auto& [u, v] : candidates) {
+    if (!in_cover[u] && !in_cover[v]) {
+      in_cover[u] = 1;
+      ++patched;
     }
   }
   out.stats.runtime.charge("seam repair (1 round)", 1, patched,

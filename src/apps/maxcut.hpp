@@ -140,9 +140,12 @@ inline CutResult max_cut(const Graph& g, int exact_cap = 26) {
   return out;
 }
 
-/// Corollary 6.3: deterministic (1-eps)-approximate maximum cut.
+/// Corollary 6.3: deterministic (1-eps)-approximate maximum cut. `pool`
+/// shards the cluster-flip gain accumulation; per-task integer partials
+/// summed in task order keep the result bit-identical to the serial sweep.
 inline CutSolution approx_max_cut(const Graph& g, double eps,
-                                  int exact_cap = 24) {
+                                  int exact_cap = 24,
+                                  congest::ShardPool* pool = nullptr) {
   CutSolution out;
   const double eps_star = detail::clamp_eps_star(eps / 2.0);
   const detail::AppDecomposition dec =
@@ -178,15 +181,34 @@ inline CutSolution approx_max_cut(const Graph& g, double eps,
   while (improved && flip_passes < 30) {
     improved = false;
     ++flip_passes;
+    // The gain accumulation is a read-only O(m) scan into integer buckets:
+    // vertex ranges fan out over the pool with one bucket array per task,
+    // and the partials sum in task order. Integer addition is associative
+    // and commutative, so the merged gains equal the serial scan exactly.
     std::vector<std::int64_t> gain(dec.edt.clustering.k, 0);
-    for (int u = 0; u < g.n(); ++u) {
-      for (int v : g.neighbors(u)) {
-        if (u < v && cl[u] != cl[v]) {
-          const std::int64_t d = out.side[u] == out.side[v] ? 1 : -1;
-          gain[cl[u]] += d;
-          gain[cl[v]] += d;
+    const auto scan = [&](int lo, int hi, std::vector<std::int64_t>& acc) {
+      for (int u = lo; u < hi; ++u) {
+        for (int v : g.neighbors(u)) {
+          if (u < v && cl[u] != cl[v]) {
+            const std::int64_t d = out.side[u] == out.side[v] ? 1 : -1;
+            acc[cl[u]] += d;
+            acc[cl[v]] += d;
+          }
         }
       }
+    };
+    if (pool != nullptr && pool->threads() > 1 && g.n() > 0) {
+      const int tasks = std::min(g.n(), 4 * pool->threads());
+      std::vector<std::vector<std::int64_t>> partial(
+          tasks, std::vector<std::int64_t>(dec.edt.clustering.k, 0));
+      congest::parallel_ranges(
+          *pool, g.n(), tasks,
+          [&](int lo, int hi, int t) { scan(lo, hi, partial[t]); });
+      for (const auto& p : partial) {
+        for (int c = 0; c < dec.edt.clustering.k; ++c) gain[c] += p[c];
+      }
+    } else {
+      scan(0, g.n(), gain);
     }
     // Accept one flip per pass (the best), so gains never go stale.
     int best_c = -1;

@@ -97,16 +97,22 @@ class ShardPool {
   int threads() const { return threads_; }
 
   /// Execute fn(task, worker) for every task in [0, tasks); blocks until all
-  /// tasks are done. The calling thread participates as worker 0. Reentrant
-  /// calls (fn itself calling run) are not supported.
+  /// tasks are done. The calling thread participates as worker 0. A
+  /// reentrant call (fn itself calling run on the same pool) executes its
+  /// tasks inline on the calling thread: a nested fan-out could never claim
+  /// the pool's workers — they are busy running the outer tasks — so
+  /// serializing it is both deadlock-free and the fastest correct option.
+  /// This is what lets certify_parts fan clusters over the pool while each
+  /// cluster's game is free to pass the same pool to its replay stage.
   void run(int tasks, const std::function<void(int task, int worker)>& fn) {
     if (tasks <= 0) return;
-    if (threads_ == 1) {
+    if (threads_ == 1 || in_run_.load(std::memory_order_relaxed)) {
       for (int t = 0; t < tasks; ++t) fn(t, 0);
       return;
     }
     {
       std::lock_guard<std::mutex> lk(mu_);
+      in_run_.store(true, std::memory_order_relaxed);
       fn_ = &fn;
       tasks_ = tasks;
       next_task_.store(0, std::memory_order_relaxed);
@@ -118,6 +124,7 @@ class ShardPool {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [this] { return idle_ == threads_ - 1; });
     fn_ = nullptr;
+    in_run_.store(false, std::memory_order_relaxed);
   }
 
  private:
@@ -153,6 +160,7 @@ class ShardPool {
   std::condition_variable cv_work_, cv_done_;
   const std::function<void(int, int)>* fn_ = nullptr;
   int tasks_ = 0;
+  std::atomic<bool> in_run_{false};
   std::atomic<int> next_task_{0};
   int idle_ = 0;
   std::int64_t generation_ = 0;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/shard.hpp"
 #include "decomp/clustering.hpp"
 #include "decomp/edt.hpp"
 #include "expander/cut_matching.hpp"
@@ -43,11 +44,15 @@ struct ExpanderDecompParams {
   // Audit mode: re-certify every emitted cluster through the three-tier
   // expander/cut_matching.hpp::certified_phi (exact / cut-matching game /
   // Cheeger), fail loudly on an inconsistent certificate, and charge the
-  // games' CONGEST cost into the ledger. Off by default — the game's mixing
-  // state is O(n^2) per cluster, so this is a bench/test gate, not a
+  // games' CONGEST cost into the ledger. Off by default — the games cost
+  // real wall time per cluster, so this is a bench/test gate, not a
   // construction cost.
   bool certify = false;
   expander::PhiCertParams certify_params;
+  // Optional pool for the certify audit: clusters fan out as independent
+  // tasks (result fold stays in cluster order, so the report is bit-identical
+  // to the serial loop at every thread count).
+  congest::ShardPool* certify_pool = nullptr;
 };
 
 struct ExpanderDecomp {
@@ -87,24 +92,48 @@ struct PartCertifyReport {
   int clusters_estimated = 0;
   double min_phi_lower = 1.0;
   double min_phi_estimate = 1.0;
+  int max_certified_cluster = 0;       // largest cluster with a sound bound
+  std::int64_t state_bytes_peak = 0;   // largest per-game mixing-state figure
   congest::Runtime ledger;
 };
 
 inline PartCertifyReport certify_parts(
     const Graph& g, const std::vector<std::vector<int>>& parts,
-    expander::PhiCertParams pc = {}) {
+    expander::PhiCertParams pc = {}, congest::ShardPool* pool = nullptr) {
   PartCertifyReport rep;
-  std::int64_t rounds = 0, messages = 0, peak = 0;
-  for (std::size_t c = 0; c < parts.size(); ++c) {
+  // Per-cluster games are independent pure functions of their induced
+  // subgraph, so they fan out over the pool as whole-cluster tasks; results
+  // land in a cluster-indexed vector and the fold below runs serially in
+  // cluster order — every accumulation (sums, mins, maxes, first-violation
+  // pick, ledger charge) sees the exact serial order, so the report is
+  // bit-identical to the serial loop at every thread count. An inner game
+  // handed the same pool re-enters ShardPool::run and executes inline.
+  if (pc.pool == nullptr) pc.pool = pool;
+  const int nparts = static_cast<int>(parts.size());
+  std::vector<expander::PhiReport> reports(nparts);
+  std::vector<int> sizes(nparts, 0);
+  const auto run_cluster = [&](int c) {
     const InducedSubgraph sub = induced_subgraph(g, parts[c]);
-    const expander::PhiReport pr = expander::certified_phi(sub.graph, pc);
+    sizes[c] = sub.graph.n();
+    reports[c] = expander::certified_phi(sub.graph, pc);
+  };
+  if (pool != nullptr && pool->threads() > 1 && nparts > 1) {
+    pool->run(nparts, [&](int c, int /*worker*/) { run_cluster(c); });
+  } else {
+    for (int c = 0; c < nparts; ++c) run_cluster(c);
+  }
+  std::int64_t rounds = 0, messages = 0, peak = 0;
+  for (int c = 0; c < nparts; ++c) {
+    const expander::PhiReport& pr = reports[c];
     rounds += pr.ledger.total();
     messages += pr.ledger.total_messages();
     peak = std::max(peak, pr.ledger.peak_congestion());
     rep.min_phi_estimate = std::min(rep.min_phi_estimate, pr.estimate);
+    rep.state_bytes_peak = std::max(rep.state_bytes_peak, pr.game_state_bytes);
     if (pr.cert.certified_lower()) {
       ++rep.clusters_certified;
       rep.min_phi_lower = std::min(rep.min_phi_lower, pr.cert.phi);
+      rep.max_certified_cluster = std::max(rep.max_certified_cluster, sizes[c]);
       if (pr.cert.phi > pr.upper + 1e-9) {
         rep.ok = false;
         if (rep.violation.empty()) {
@@ -209,8 +238,8 @@ inline ExpanderDecomp expander_decomposition_minor_free(
     // the game-backed tallies REPLACE the cheap default tallies above (the
     // audit mode's whole point is upgrading estimated clusters to certified
     // ones), and its CONGEST cost lands in the ledger like any other phase.
-    const PartCertifyReport rep =
-        certify_parts(g, final_members, params.certify_params);
+    const PartCertifyReport rep = certify_parts(
+        g, final_members, params.certify_params, params.certify_pool);
     out.clusters_certified = rep.clusters_certified;
     out.clusters_estimated = rep.clusters_estimated;
     out.min_phi_lower = rep.min_phi_lower;

@@ -74,6 +74,9 @@ struct OverlapDecompParams {
   // This certifies the FINAL overlap object; it does not alter construction.
   bool certify = false;
   expander::PhiCertParams certify_params;
+  // Optional pool for the certify audit (see ExpanderDecompParams) — the
+  // supports fan out as independent tasks, report folded in cluster order.
+  congest::ShardPool* certify_pool = nullptr;
   ExpanderDecompParams expander;
 };
 
@@ -216,8 +219,8 @@ inline OverlapDecompResult overlap_expander_decomposition(
   out.uncovered_edges = static_cast<std::int64_t>(uncovered.size());
   if (params.certify) {
     congest::ChargeScope scope(out.ledger, "certify");
-    const PartCertifyReport rep =
-        certify_parts(g, out.oc.members, params.certify_params);
+    const PartCertifyReport rep = certify_parts(
+        g, out.oc.members, params.certify_params, params.certify_pool);
     out.clusters_certified = rep.clusters_certified;
     out.clusters_estimated = rep.clusters_estimated;
     out.min_phi_lower = rep.min_phi_lower;

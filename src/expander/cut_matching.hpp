@@ -4,9 +4,10 @@
 // (arXiv:2007.14898).
 //
 // Given a connected cluster G, the game plays O(log^2 n) rounds. Each round
-//   * the CUT PLAYER proposes a bisection: project the current mixing matrix
-//     F onto a seeded zero-sum vector and split the sorted projection at the
-//     median (deterministic — the seed is a published constant);
+//   * the CUT PLAYER proposes a bisection: split the sorted values of a
+//     probe vector y = F * proj at the median, where F is the (implicit)
+//     mixing matrix and proj a seeded zero-sum vector (deterministic — the
+//     seed is a published constant);
 //   * the MATCHING PLAYER routes a unit of flow from every S vertex to a
 //     distinct S-bar vertex through G, with every edge capped at
 //     ceil(1/phi_target) (Dinic max flow). If the flow saturates, its path
@@ -14,6 +15,35 @@
 //     — the matched pairs average their rows of F. If it cannot, the
 //     residual min cut is a sparse cut of G: the game stops and returns that
 //     side, re-checked by direct conductance computation.
+//
+// THE IMPLICIT-MATRIX ENGINES. The distributed formulation never holds F
+// explicitly — the certificate is the matching sequence, which is all the
+// game keeps. Two mechanisms replace the resident n x n matrix:
+//
+//   * Streaming cut player (exact, not approximate): a bank of k seeded
+//     probe vectors y_j is maintained incrementally — initialising
+//     y_j = proj_j establishes y_j = F * proj_j at F = I, and every applied
+//     matching averages the matched pairs' probe entries, which IS the KRV
+//     row-averaging applied to F * proj_j. Round r cuts on probe r mod k.
+//     Cost per round: O(k * |matching|) instead of O(n^2).
+//   * Blocked column replay for alpha: alpha = n * min entry of F is only
+//     needed at candidate certificate prefixes (powers of two of the
+//     appended-matching count, plus the final prefix — a geometric schedule
+//     that bounds total replay work at ~2x one full-prefix replay). Each
+//     evaluation replays the stored matchings against identity column
+//     blocks of B basis vectors: O(n * B) memory, embarrassingly parallel
+//     over blocks via congest::ShardPool. Every matrix entry receives the
+//     identical sequence of 0.5*(a+b) averagings either way (pairs within a
+//     round are vertex-disjoint, the round order is fixed) and min over
+//     doubles is order-free, so the replayed alpha is BIT-IDENTICAL to a
+//     resident-matrix scan for any block size and thread count.
+//
+// Engine selection: kAuto keeps the dense resident-matrix engine below
+// `dense_crossover` vertices (it is faster there and serves as the
+// equivalence-gated reference — tests/test_fuzz.cpp pins dense == implicit
+// across all generator families) and switches to the implicit engine above
+// it, which is what lets certified_phi's cut_matching_cap sit at 65536
+// instead of 1024.
 //
 // Soundness of the certificate (verified by verify_cut_matching, which
 // replays it from the recorded paths alone):
@@ -47,11 +77,11 @@
 #include <cstdint>
 #include <numeric>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "congest/runtime.hpp"
+#include "congest/shard.hpp"
 #include "graph/graph.hpp"
 #include "graph/metrics.hpp"
 #include "graph/ops.hpp"
@@ -156,7 +186,38 @@ inline double hash_unit(std::uint64_t seed, int v) {
   return static_cast<double>(z >> 11) * 0x1.0p-53 * 2.0 - 1.0;
 }
 
+/// The doubly-stochastic KRV update on two length-`len` state rows. Every
+/// engine (dense matrix, probe bank, blocked replay, verifier) funnels
+/// through this one body so each state entry sees a syntactically identical
+/// floating-point op sequence — the root of the bit-identity contract.
+inline void average_rows(double* ru, double* rv, int len) {
+  for (int j = 0; j < len; ++j) {
+    const double avg = 0.5 * (ru[j] + rv[j]);
+    ru[j] = rv[j] = avg;
+  }
+}
+
+/// Column block width for the alpha replay: `block <= 0` derives a width
+/// keeping one resident buffer of n * block doubles near 8 MiB, capped at
+/// n/4 columns so the implicit engine's state stays strictly below the
+/// dense matrix at every size. Total replay work is block-size-invariant
+/// (sum of block widths is n), so the cap costs nothing serially.
+inline int derive_replay_block(int n, int block) {
+  if (block <= 0) {
+    block = static_cast<int>((std::int64_t{1} << 20) / std::max(n, 1));
+    block = std::min(block, (n + 3) / 4);
+  }
+  return std::max(1, std::min(block, std::max(n, 1)));
+}
+
 }  // namespace detail_cm
+
+/// Which mixing-state engine the game runs.
+enum class CutMatchingEngine {
+  kAuto,      // dense at n <= dense_crossover, implicit above
+  kDense,     // resident n x n matrix (the equivalence reference)
+  kImplicit,  // probe bank + blocked column replay, O(n + B*n) state
+};
 
 struct CutMatchingParams {
   double phi_target = 0.0;  // flow capacity = ceil(1/phi_target); 0 derives
@@ -165,6 +226,11 @@ struct CutMatchingParams {
   double mix_alpha = 0.5;   // stop early once n * min entry of F reaches this
   int power_iters = 60;     // Cheeger probe used when phi_target is derived
   std::uint64_t seed = 0x243f6a8885a308d3ULL;  // published cut-player seed
+  int probes = 8;           // cut-player probe bank size k (round-robin)
+  CutMatchingEngine engine = CutMatchingEngine::kAuto;
+  int dense_crossover = 512;  // kAuto: resident matrix at or below this n
+  int replay_block = 0;       // alpha replay column width B; 0 derives ~8 MiB
+  congest::ShardPool* pool = nullptr;  // replay blocks fan out here
 };
 
 /// One embedded matching edge: `path` walks from u to v through adjacent
@@ -186,6 +252,53 @@ struct CutMatchingCertificate {
   double phi_lower = 0.0;       // alpha / (congestion * max_degree)
 };
 
+namespace detail_cm {
+
+/// Exact min entry of the mixing matrix after the first `prefix` matchings,
+/// computed without a resident matrix: identity columns are replayed in
+/// blocks of `block` basis vectors (O(n * block) memory per buffer), blocks
+/// fanned over `pool` when provided. Entry (u, w) receives the identical
+/// averaging sequence whether held in a full matrix or a column block —
+/// within a round the pairs are vertex-disjoint, and min over doubles is
+/// order-free — so the result is bit-identical to a dense scan for ANY
+/// block size and thread count. Endpoints must be pre-validated in [0, n).
+inline double replay_min_entry(
+    int n, const std::vector<std::vector<MatchedPair>>& matchings,
+    std::size_t prefix, int block, congest::ShardPool* pool) {
+  if (n <= 0) return 0.0;
+  block = derive_replay_block(n, block);
+  prefix = std::min(prefix, matchings.size());
+  const int nblocks = (n + block - 1) / block;
+  std::vector<double> block_min(nblocks, 1.0);
+  const auto run_block = [&](int b) {
+    const int w0 = b * block;
+    const int bw = std::min(n, w0 + block) - w0;
+    std::vector<double> col(static_cast<std::size_t>(n) * bw, 0.0);
+    for (int j = 0; j < bw; ++j) {
+      col[static_cast<std::size_t>(w0 + j) * bw + j] = 1.0;
+    }
+    for (std::size_t r = 0; r < prefix; ++r) {
+      for (const MatchedPair& p : matchings[r]) {
+        average_rows(col.data() + static_cast<std::size_t>(p.u) * bw,
+                     col.data() + static_cast<std::size_t>(p.v) * bw, bw);
+      }
+    }
+    double mn = 1.0;
+    for (double e : col) mn = std::min(mn, e);
+    block_min[b] = mn;
+  };
+  if (pool != nullptr && pool->threads() > 1 && nblocks > 1) {
+    pool->run(nblocks, [&](int b, int /*worker*/) { run_block(b); });
+  } else {
+    for (int b = 0; b < nblocks; ++b) run_block(b);
+  }
+  double mn = 1.0;
+  for (double e : block_min) mn = std::min(mn, e);
+  return mn;
+}
+
+}  // namespace detail_cm
+
 enum class CutMatchingVerdict {
   kCertified,     // cert holds a positive, replay-verifiable lower bound
   kSparseCut,     // cut_side is a re-checked cut of conductance < phi_target
@@ -199,6 +312,13 @@ struct CutMatchingOutcome {
   double cut_phi = 2.0;        // kSparseCut: directly recomputed phi(cut_side)
   int rounds_played = 0;
   double phi_target = 0.0;     // the target the matching player actually used
+  CutMatchingEngine engine_used = CutMatchingEngine::kDense;
+  int alpha_evals = 0;         // checkpoint evaluations of alpha performed
+  // Analytic high-water of the mixing state in bytes: probe bank plus either
+  // the resident matrix (dense) or ONE replay block buffer (implicit; a
+  // pool multiplies resident buffers by its thread count, but the reported
+  // figure stays thread-invariant so outcomes are bit-comparable).
+  std::int64_t state_bytes_peak = 0;
   congest::Runtime ledger;     // CONGEST charges of the whole game
 };
 
@@ -216,8 +336,17 @@ struct EmbeddingAudit {
   double recomputed_phi_lower = 0.0;
 };
 
+/// Knobs for verify_cut_matching's alpha replay — same semantics as the
+/// game's: any block size / pool gives bit-identical results, the knobs only
+/// trade memory for parallelism.
+struct VerifyParams {
+  int replay_block = 0;                // column width B; 0 derives ~8 MiB
+  congest::ShardPool* pool = nullptr;  // replay blocks fan out here
+};
+
 inline EmbeddingAudit verify_cut_matching(const Graph& g,
-                                          const CutMatchingCertificate& cert) {
+                                          const CutMatchingCertificate& cert,
+                                          const VerifyParams& vp = {}) {
   EmbeddingAudit audit;
   const auto fail = [&audit](const std::string& why) {
     audit.ok = false;
@@ -228,11 +357,10 @@ inline EmbeddingAudit verify_cut_matching(const Graph& g,
     fail("empty graph cannot carry a certificate");
     return audit;
   }
-  std::unordered_map<std::int64_t, std::int64_t> usage;
-  std::vector<double> mix(static_cast<std::size_t>(n) * n, 0.0);
-  for (int v = 0; v < n; ++v) mix[static_cast<std::size_t>(v) * n + v] = 1.0;
+  // Structural pass: path validity, per-round disjointness, congestion and
+  // dilation recounted on flat per-arc-slot counters (no hashing).
+  std::vector<std::int64_t> usage(2 * g.m(), 0);
   std::vector<char> matched(n, 0);
-  std::vector<double> row(n);
   for (const std::vector<MatchedPair>& round : cert.matchings) {
     std::fill(matched.begin(), matched.end(), 0);
     for (const MatchedPair& p : round) {
@@ -251,28 +379,27 @@ inline EmbeddingAudit verify_cut_matching(const Graph& g,
       }
       for (std::size_t i = 0; i + 1 < p.path.size(); ++i) {
         const int a = p.path[i], b = p.path[i + 1];
-        if (a < 0 || a >= n || b < 0 || b >= n || !g.has_edge(a, b)) {
+        if (a < 0 || a >= n || b < 0 || b >= n) {
           fail("path step is not an edge of the graph");
           return audit;
         }
-        const std::int64_t key =
-            static_cast<std::int64_t>(std::min(a, b)) * n + std::max(a, b);
-        audit.congestion = std::max(audit.congestion, ++usage[key]);
+        const std::int64_t slot = g.arc_index(std::min(a, b), std::max(a, b));
+        if (slot < 0) {
+          fail("path step is not an edge of the graph");
+          return audit;
+        }
+        audit.congestion = std::max(audit.congestion, ++usage[slot]);
       }
       audit.dilation =
           std::max(audit.dilation, static_cast<int>(p.path.size()) - 1);
-      // Average the two mixing rows — the doubly-stochastic KRV update.
-      double* ru = mix.data() + static_cast<std::size_t>(p.u) * n;
-      double* rv = mix.data() + static_cast<std::size_t>(p.v) * n;
-      for (int w = 0; w < n; ++w) {
-        const double avg = 0.5 * (ru[w] + rv[w]);
-        ru[w] = rv[w] = avg;
-      }
     }
   }
-  double min_entry = 1.0;
-  for (double e : mix) min_entry = std::min(min_entry, e);
-  audit.alpha = static_cast<double>(n) * min_entry;
+  // Alpha via the same blocked column replay the implicit engine runs — the
+  // verifier scales to exactly the certificates the game can now produce.
+  audit.alpha =
+      static_cast<double>(n) *
+      detail_cm::replay_min_entry(n, cert.matchings, cert.matchings.size(),
+                                  vp.replay_block, vp.pool);
   const int delta = g.max_degree();
   audit.recomputed_phi_lower =
       (audit.congestion > 0 && delta > 0)
@@ -290,14 +417,17 @@ inline EmbeddingAudit verify_cut_matching(const Graph& g,
 /// Play the deterministic cut-matching game on a CONNECTED graph. Returns
 ///   * kSparseCut with a re-checked witnessed cut of conductance below
 ///     phi_target (the residual min cut of a failed matching flow), or
-///   * kCertified with a replayable phi lower-bound certificate (the prefix
-///     of rounds maximizing alpha / congestion — later matchings that only
-///     add congestion are dropped), or
+///   * kCertified with a replayable phi lower-bound certificate (the
+///     checkpoint prefix maximizing alpha / congestion — later matchings
+///     that only add congestion are dropped), or
 ///   * kInconclusive when no mixing was achieved (n < 2, or partial
 ///     matchings left some mixing entry at zero for every prefix).
-/// The ledger charges the game's CONGEST cost: the cut player's projection
-/// replays are envelope-billed, the matching embeddings are measured (one
-/// message per path edge, peak per-edge path count as congestion).
+/// The ledger charges the game's CONGEST cost: the cut player's probe
+/// exchanges and the checkpoint alpha replays are envelope-billed, the
+/// matching embeddings are measured (one message per path edge, peak
+/// per-edge path count as congestion). Dense and implicit engines share
+/// every decision path, so the outcome — certificate, cut, ledger — is
+/// bit-identical across engines, block sizes, and thread counts.
 inline CutMatchingOutcome cut_matching_game(const Graph& g,
                                             CutMatchingParams params = {}) {
   CutMatchingOutcome out;
@@ -320,58 +450,94 @@ inline CutMatchingOutcome cut_matching_game(const Graph& g,
   const int max_rounds =
       params.max_rounds > 0 ? params.max_rounds : 2 * log_n * log_n;
 
-  // Undirected edge ids for congestion counting.
-  std::unordered_map<std::int64_t, int> edge_id;
-  {
-    int next = 0;
-    for (const auto& [u, v] : g.edges()) {
-      edge_id[static_cast<std::int64_t>(u) * n + v] = next++;
+  const bool dense =
+      params.engine == CutMatchingEngine::kDense ||
+      (params.engine == CutMatchingEngine::kAuto && n <= params.dense_crossover);
+  out.engine_used =
+      dense ? CutMatchingEngine::kDense : CutMatchingEngine::kImplicit;
+  const int block = detail_cm::derive_replay_block(n, params.replay_block);
+  const int k = std::max(1, params.probes);
+
+  // Probe bank: row v holds (F * proj_j)[v] for the k seeded projections,
+  // column-major per vertex so one average_rows call updates every probe of
+  // a matched pair. Initialised to the mean-centered projections (F = I).
+  std::vector<double> probes(static_cast<std::size_t>(n) * k);
+  for (int j = 0; j < k; ++j) {
+    double mean = 0.0;
+    for (int v = 0; v < n; ++v) mean += detail_cm::hash_unit(params.seed + j, v);
+    mean /= n;
+    for (int v = 0; v < n; ++v) {
+      probes[static_cast<std::size_t>(v) * k + j] =
+          detail_cm::hash_unit(params.seed + j, v) - mean;
     }
   }
-  std::vector<std::int64_t> edge_usage(g.m(), 0);
 
-  // Mixing matrix F: row u = where u's unit of commodity currently sits.
-  std::vector<double> mix(static_cast<std::size_t>(n) * n, 0.0);
-  for (int v = 0; v < n; ++v) mix[static_cast<std::size_t>(v) * n + v] = 1.0;
+  // Dense reference engine only: the resident mixing matrix.
+  std::vector<double> mix;
+  if (dense) {
+    mix.assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (int v = 0; v < n; ++v) mix[static_cast<std::size_t>(v) * n + v] = 1.0;
+  }
+  out.state_bytes_peak =
+      8 * (static_cast<std::int64_t>(n) * k +
+           (dense ? static_cast<std::int64_t>(n) * n
+                  : static_cast<std::int64_t>(n) * block));
 
-  // Per-round trail for the best-prefix selection: after round t the
-  // certificate could stop, paying congestion c_t for mixing alpha_t.
-  std::vector<double> alpha_hist;
-  std::vector<std::int64_t> cong_hist;
-  std::vector<int> dil_hist;
+  // Per-edge path counts on canonical (min -> max) CSR arc slots; the
+  // running max IS the congestion at every prefix because usage only grows.
+  std::vector<std::int64_t> edge_usage(2 * g.m(), 0);
+  std::int64_t cong_so_far = 0;
+  int dilation_so_far = 0;
+
+  // Checkpoint trail: alpha is evaluated only at prefixes that are powers
+  // of two of the appended-matching count (plus the final prefix), with the
+  // congestion/dilation snapshot the certificate would pay at that prefix.
+  std::vector<std::size_t> ck_prefix;
+  std::vector<double> ck_alpha;
+  std::vector<std::int64_t> ck_cong;
+  std::vector<int> ck_dil;
 
   std::int64_t cut_player_rounds = 0;
   std::int64_t embed_rounds = 0, embed_messages = 0, embed_peak = 0;
-  int dilation_so_far = 0;
 
-  std::vector<double> proj(n);
   std::vector<int> order(n);
   std::vector<int> side(n, 0);  // 1 = S (flow sources) this round
 
-  for (int round = 0; round < max_rounds; ++round) {
-    // --- Cut player: median split of the projected mixing matrix. A
-    // distributed implementation replays the matchings so far on a scalar
-    // (one averaging exchange per matching, routed along its paths) and
-    // median-selects — envelope-billed below at that cost.
-    for (int v = 0; v < n; ++v) proj[v] = detail_cm::hash_unit(params.seed + round, v);
-    const double mean = std::accumulate(proj.begin(), proj.end(), 0.0) / n;
-    for (int v = 0; v < n; ++v) proj[v] -= mean;
-    std::vector<double> p(n, 0.0);
-    for (int u = 0; u < n; ++u) {
-      const double* row = mix.data() + static_cast<std::size_t>(u) * n;
-      double acc = 0.0;
-      for (int w = 0; w < n; ++w) acc += row[w] * proj[w];
-      p[u] = acc;
+  // One alpha evaluation at the current prefix. A distributed run replays
+  // the prefix's matchings on a scalar (one averaging exchange per matching,
+  // routed along its paths) — billed below at that cost for BOTH engines so
+  // the ledger stays engine-invariant.
+  const auto alpha_at = [&](std::size_t prefix) -> double {
+    ++out.alpha_evals;
+    cut_player_rounds +=
+        static_cast<std::int64_t>(prefix) * (dilation_so_far + 1);
+    double mn = 1.0;
+    if (dense) {
+      for (double e : mix) mn = std::min(mn, e);
+    } else {
+      mn = detail_cm::replay_min_entry(n, out.cert.matchings, prefix, block,
+                                       params.pool);
     }
+    return static_cast<double>(n) * mn;
+  };
+
+  for (int round = 0; round < max_rounds; ++round) {
+    // --- Cut player: median split of the round-robin probe. The probe bank
+    // already holds F * proj exactly, so the split costs a sort — the old
+    // dense engine's O(n^2) F * proj product is gone. A distributed round
+    // pays one probe exchange along the latest matching plus a median
+    // selection, envelope-billed below.
+    const int j = round % k;
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&p](int a, int b) {
-      return p[a] != p[b] ? p[a] < p[b] : a < b;
+    std::sort(order.begin(), order.end(), [&probes, j, k](int a, int b) {
+      const double pa = probes[static_cast<std::size_t>(a) * k + j];
+      const double pb = probes[static_cast<std::size_t>(b) * k + j];
+      return pa != pb ? pa < pb : a < b;
     });
     const int half = n / 2;
     std::fill(side.begin(), side.end(), 0);
     for (int i = 0; i < half; ++i) side[order[i]] = 1;
-    cut_player_rounds +=
-        static_cast<std::int64_t>(round + 1) * (dilation_so_far + 1) + log_n;
+    cut_player_rounds += (dilation_so_far + 1) + log_n;
 
     // --- Matching player: route one unit from every S vertex to a distinct
     // S-bar vertex, every graph edge capped at ceil(1/phi_target).
@@ -425,7 +591,7 @@ inline CutMatchingOutcome cut_matching_game(const Graph& g,
       }
     }
     std::vector<MatchedPair> matching;
-    std::vector<std::int64_t> round_usage(g.m(), 0);
+    std::vector<std::int64_t> round_usage(2 * g.m(), 0);
     std::int64_t round_peak = 0;
     int round_dil = 0;
     for (std::size_t i = 0; i < dinic.adj()[src].size(); ++i) {
@@ -436,11 +602,11 @@ inline CutMatchingOutcome cut_matching_game(const Graph& g,
         const int u = walk.back();
         bool advanced = false;
         auto& arcs = dinic.adj()[u];
-        for (std::size_t j = 0; j < arcs.size(); ++j) {
-          if (arc_flow[u][j] <= 0) continue;
-          --arc_flow[u][j];
-          if (arcs[j].to == snk) break;  // arrived; outer loop re-checks
-          walk.push_back(arcs[j].to);
+        for (std::size_t jj = 0; jj < arcs.size(); ++jj) {
+          if (arc_flow[u][jj] <= 0) continue;
+          --arc_flow[u][jj];
+          if (arcs[jj].to == snk) break;  // arrived; outer loop re-checks
+          walk.push_back(arcs[jj].to);
           advanced = true;
           break;
         }
@@ -469,9 +635,9 @@ inline CutMatchingOutcome cut_matching_game(const Graph& g,
       for (std::size_t s = 0; s + 1 < pair.path.size(); ++s) {
         const int a = std::min(pair.path[s], pair.path[s + 1]);
         const int b = std::max(pair.path[s], pair.path[s + 1]);
-        const int id = edge_id.at(static_cast<std::int64_t>(a) * n + b);
-        round_peak = std::max(round_peak, ++round_usage[id]);
-        edge_usage[id] = std::max<std::int64_t>(edge_usage[id] + 1, 0);
+        const std::int64_t slot = g.arc_index(a, b);
+        round_peak = std::max(round_peak, ++round_usage[slot]);
+        cong_so_far = std::max(cong_so_far, ++edge_usage[slot]);
       }
       round_dil = std::max(round_dil,
                            static_cast<int>(pair.path.size()) - 1);
@@ -482,12 +648,17 @@ inline CutMatchingOutcome cut_matching_game(const Graph& g,
       ++out.rounds_played;
       continue;
     }
+    // Apply the matching: the probe bank always, the resident matrix only
+    // under the dense engine — the implicit engine's matrix lives solely in
+    // the recorded matchings.
     for (const MatchedPair& pr : matching) {
-      double* ru = mix.data() + static_cast<std::size_t>(pr.u) * n;
-      double* rv = mix.data() + static_cast<std::size_t>(pr.v) * n;
-      for (int w = 0; w < n; ++w) {
-        const double avg = 0.5 * (ru[w] + rv[w]);
-        ru[w] = rv[w] = avg;
+      detail_cm::average_rows(probes.data() + static_cast<std::size_t>(pr.u) * k,
+                              probes.data() + static_cast<std::size_t>(pr.v) * k,
+                              k);
+      if (dense) {
+        detail_cm::average_rows(mix.data() + static_cast<std::size_t>(pr.u) * n,
+                                mix.data() + static_cast<std::size_t>(pr.v) * n,
+                                n);
       }
     }
     out.cert.matchings.push_back(std::move(matching));
@@ -498,40 +669,56 @@ inline CutMatchingOutcome cut_matching_game(const Graph& g,
     embed_peak = std::max(embed_peak, round_peak);
     ++out.rounds_played;
 
-    double min_entry = 1.0;
-    for (double e : mix) min_entry = std::min(min_entry, e);
-    alpha_hist.push_back(static_cast<double>(n) * min_entry);
-    cong_hist.push_back(*std::max_element(edge_usage.begin(), edge_usage.end()));
-    dil_hist.push_back(dilation_so_far);
-    if (alpha_hist.back() >= params.mix_alpha) break;
+    const std::size_t s = out.cert.matchings.size();
+    if ((s & (s - 1)) == 0) {  // geometric checkpoint: 1, 2, 4, 8, ...
+      const double a = alpha_at(s);
+      ck_prefix.push_back(s);
+      ck_alpha.push_back(a);
+      ck_cong.push_back(cong_so_far);
+      ck_dil.push_back(dilation_so_far);
+      if (a >= params.mix_alpha) break;
+    }
   }
 
-  out.ledger.charge_envelope("cut player: projection replays",
+  // The final prefix is always a candidate, whether or not it is a power of
+  // two — a run cut short by max_rounds still certifies what it mixed.
+  if (out.verdict != CutMatchingVerdict::kSparseCut) {
+    const std::size_t s = out.cert.matchings.size();
+    if (s > 0 && (ck_prefix.empty() || ck_prefix.back() != s)) {
+      const double a = alpha_at(s);
+      ck_prefix.push_back(s);
+      ck_alpha.push_back(a);
+      ck_cong.push_back(cong_so_far);
+      ck_dil.push_back(dilation_so_far);
+    }
+  }
+
+  out.ledger.charge_envelope("cut player: probes + alpha replays",
                              cut_player_rounds, 2 * g.m());
   out.ledger.charge("matching player: flow embeddings", embed_rounds,
                     embed_messages, embed_messages > 0 ? embed_peak : 0);
 
   if (out.verdict == CutMatchingVerdict::kSparseCut) return out;
 
-  // Best-prefix certificate: stop after the round maximizing alpha_t / c_t —
-  // matchings beyond it only added congestion faster than mixing.
+  // Best-checkpoint certificate: stop after the prefix maximizing
+  // alpha_t / c_t — matchings beyond it added congestion faster than mixing.
   const int delta = g.max_degree();
   int best = -1;
   double best_bound = 0.0;
-  for (std::size_t t = 0; t < alpha_hist.size(); ++t) {
-    if (cong_hist[t] <= 0 || delta <= 0) continue;
+  for (std::size_t t = 0; t < ck_prefix.size(); ++t) {
+    if (ck_cong[t] <= 0 || delta <= 0) continue;
     const double bound =
-        alpha_hist[t] / (static_cast<double>(cong_hist[t]) * delta);
+        ck_alpha[t] / (static_cast<double>(ck_cong[t]) * delta);
     if (bound > best_bound) {
       best_bound = bound;
       best = static_cast<int>(t);
     }
   }
   if (best < 0) return out;  // alpha never left zero: inconclusive
-  out.cert.matchings.resize(best + 1);
-  out.cert.alpha = alpha_hist[best];
-  out.cert.congestion = cong_hist[best];
-  out.cert.dilation = dil_hist[best];
+  out.cert.matchings.resize(ck_prefix[best]);
+  out.cert.alpha = ck_alpha[best];
+  out.cert.congestion = ck_cong[best];
+  out.cert.dilation = ck_dil[best];
   out.cert.phi_lower = best_bound;
   out.verdict = CutMatchingVerdict::kCertified;
   return out;
@@ -541,11 +728,15 @@ inline CutMatchingOutcome cut_matching_game(const Graph& g,
 // The three-tier certification entry point.
 
 struct PhiCertParams {
-  int exact_cap = 12;           // brute force at or below this many vertices
-  int power_iters = 60;         // Fiedler iterations (sweep upper + Cheeger)
-  bool cut_matching = true;     // play the game above exact_cap
-  int cut_matching_cap = 1024;  // skip the game above this size (O(n^2) state)
+  int exact_cap = 12;        // brute force at or below this many vertices
+  int power_iters = 60;      // Fiedler iterations (sweep upper + Cheeger)
+  bool cut_matching = true;  // play the game above exact_cap
+  // Skip the game above this size. The implicit engine's state is
+  // O(n + m + B*n) — no resident matrix — so the cap is a wall-clock knob
+  // (each alpha replay is O(#matching-edges * n)), not a memory wall.
+  int cut_matching_cap = 65536;
   CutMatchingParams game;
+  congest::ShardPool* pool = nullptr;  // forwarded to game + verify replays
 };
 
 /// What certified_phi reports for one cluster. `cert` is the headline
@@ -555,12 +746,13 @@ struct PhiCertParams {
 /// (an actual cut: the best Fiedler sweep cut, the game's sparse cut, or the
 /// exact minimizer) — so certified lower <= exact <= upper is a checkable
 /// bracket. The ledger carries the game's CONGEST charges (empty when no
-/// game ran).
+/// game ran); game_state_bytes the game's mixing-state high-water.
 struct PhiReport {
   PhiCertificate cert;
   double estimate = 1.0;
   double upper = 1.0;
   CutMatchingVerdict game_verdict = CutMatchingVerdict::kInconclusive;
+  std::int64_t game_state_bytes = 0;
   congest::Runtime ledger;
 };
 
@@ -590,13 +782,19 @@ inline PhiReport certified_phi(const Graph& g, PhiCertParams params = {}) {
   if (!params.cut_matching || core.graph.n() > params.cut_matching_cap) {
     return report;
   }
-  CutMatchingOutcome game = cut_matching_game(core.graph, params.game);
+  CutMatchingParams gp = params.game;
+  if (gp.pool == nullptr) gp.pool = params.pool;
+  CutMatchingOutcome game = cut_matching_game(core.graph, gp);
   report.game_verdict = game.verdict;
+  report.game_state_bytes = game.state_bytes_peak;
   report.ledger.absorb(game.ledger, "cut-matching: ");
   if (game.verdict == CutMatchingVerdict::kSparseCut) {
     report.upper = std::min(report.upper, game.cut_phi);
   } else if (game.verdict == CutMatchingVerdict::kCertified) {
-    const EmbeddingAudit audit = verify_cut_matching(core.graph, game.cert);
+    VerifyParams vp;
+    vp.replay_block = gp.replay_block;
+    vp.pool = gp.pool;
+    const EmbeddingAudit audit = verify_cut_matching(core.graph, game.cert, vp);
     if (audit.ok) {
       report.cert.phi = game.cert.phi_lower;
       report.cert.exact = false;

@@ -82,6 +82,19 @@ class Graph {
     return std::binary_search(nb.begin(), nb.end(), v);
   }
 
+  /// Slot of the directed arc u->v in the CSR adjacency array, or -1 when
+  /// the edge is absent. Slots are dense in [0, 2m) and laid out in
+  /// (source, sorted-neighbor) order, so per-edge state can live in a flat
+  /// array indexed by arc slot instead of a hash map keyed by endpoint pair
+  /// — the certify replay paths index congestion counters this way.
+  std::int64_t arc_index(int u, int v) const {
+    const int* lo = adj_.data() + offset_[u];
+    const int* hi = adj_.data() + offset_[u + 1];
+    const int* it = std::lower_bound(lo, hi, v);
+    if (it == hi || *it != v) return -1;
+    return offset_[u] + (it - lo);
+  }
+
   int max_degree() const {
     int d = 0;
     for (int v = 0; v < n_; ++v) d = std::max(d, degree(v));

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "congest/shard.hpp"
 #include "decomp/edt.hpp"
 #include "decomp/expander_decomp.hpp"
 #include "decomp/overlap_decomp.hpp"
@@ -63,6 +64,50 @@ Graph small_connected(std::uint64_t seed, int* n_out = nullptr) {
   }
   if (n_out != nullptr) *n_out = n;
   return Graph::from_edges(n, edges);
+}
+
+/// Full bit-identity comparison of two game outcomes — verdict, certificate
+/// (including every matched pair and path), sparse-cut witness, and the
+/// CONGEST ledger. This is the dense-vs-implicit equivalence contract: the
+/// engines share every decision path, so nothing may differ.
+bool same_outcome(const expander::CutMatchingOutcome& a,
+                  const expander::CutMatchingOutcome& b,
+                  const std::string& ctx) {
+  bool ok = a.verdict == b.verdict && a.rounds_played == b.rounds_played &&
+            a.phi_target == b.phi_target && a.alpha_evals == b.alpha_evals &&
+            a.cut_side == b.cut_side && a.cut_phi == b.cut_phi &&
+            a.cert.congestion == b.cert.congestion &&
+            a.cert.dilation == b.cert.dilation &&
+            a.cert.alpha == b.cert.alpha &&
+            a.cert.phi_lower == b.cert.phi_lower &&
+            a.cert.matchings.size() == b.cert.matchings.size();
+  if (ok) {
+    for (std::size_t r = 0; r < a.cert.matchings.size(); ++r) {
+      const auto& ra = a.cert.matchings[r];
+      const auto& rb = b.cert.matchings[r];
+      if (ra.size() != rb.size()) { ok = false; break; }
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        if (ra[i].u != rb[i].u || ra[i].v != rb[i].v ||
+            ra[i].path != rb[i].path) { ok = false; break; }
+      }
+      if (!ok) break;
+    }
+  }
+  if (ok && a.ledger.entries().size() == b.ledger.entries().size()) {
+    for (std::size_t i = 0; i < a.ledger.entries().size(); ++i) {
+      const congest::RoundCharge& x = a.ledger.entries()[i];
+      const congest::RoundCharge& y = b.ledger.entries()[i];
+      if (x.phase != y.phase || x.rounds != y.rounds ||
+          x.messages != y.messages || x.max_congestion != y.max_congestion) {
+        ok = false;
+        break;
+      }
+    }
+  } else if (a.ledger.entries().size() != b.ledger.entries().size()) {
+    ok = false;
+  }
+  CHECK_MSG(ok, ctx + ": dense/implicit outcomes diverged");
+  return ok;
 }
 
 }  // namespace
@@ -223,42 +268,141 @@ TEST_CASE(fuzz_phi_degenerate) {
 
 TEST_CASE(fuzz_certificate_replay_rejects_tampering) {
   // Replay semantics: the certificate is only as good as its recorded paths,
-  // so every class of tampering must be caught by verify_cut_matching.
+  // so every class of tampering must be caught by verify_cut_matching — by
+  // both the serial replay and the pooled blocked replay, and for
+  // certificates produced by either engine.
   Rng rng(5);
   const Graph g = make_family("grid", 64, rng);
-  expander::CutMatchingParams gp;
-  gp.phi_target = 0.05;
-  const expander::CutMatchingOutcome out = expander::cut_matching_game(g, gp);
-  CHECK(out.verdict == expander::CutMatchingVerdict::kCertified);
-  CHECK(expander::verify_cut_matching(g, out.cert).ok);
+  congest::ShardPool pool(3);
+  for (const auto engine :
+       {expander::CutMatchingEngine::kDense,
+        expander::CutMatchingEngine::kImplicit}) {
+    expander::CutMatchingParams gp;
+    gp.phi_target = 0.05;
+    gp.engine = engine;
+    const bool pooled = engine == expander::CutMatchingEngine::kImplicit;
+    expander::VerifyParams vp;
+    vp.replay_block = pooled ? 5 : 0;  // force multi-block on the pooled leg
+    vp.pool = pooled ? &pool : nullptr;
+    const auto verify = [&](const expander::CutMatchingCertificate& c) {
+      return expander::verify_cut_matching(g, c, vp);
+    };
+    const expander::CutMatchingOutcome out = expander::cut_matching_game(g, gp);
+    CHECK(out.verdict == expander::CutMatchingVerdict::kCertified);
+    CHECK(out.engine_used == engine);
+    CHECK(verify(out.cert).ok);
 
-  {  // Inflated headline bound.
-    expander::CutMatchingCertificate bad = out.cert;
-    bad.phi_lower *= 2.0;
-    CHECK(!expander::verify_cut_matching(g, bad).ok);
+    {  // Inflated headline bound.
+      expander::CutMatchingCertificate bad = out.cert;
+      bad.phi_lower *= 2.0;
+      CHECK(!verify(bad).ok);
+    }
+    {  // Understated congestion (the bound's denominator).
+      expander::CutMatchingCertificate bad = out.cert;
+      bad.congestion = std::max<std::int64_t>(1, bad.congestion - 1);
+      bad.phi_lower = out.cert.phi_lower;
+      CHECK(!verify(bad).ok);
+    }
+    {  // A path step that is not an edge of the graph.
+      expander::CutMatchingCertificate bad = out.cert;
+      bad.matchings.front().front().path.insert(
+          bad.matchings.front().front().path.begin() + 1, g.n() - 1);
+      CHECK(!verify(bad).ok);
+    }
+    {  // A duplicated pair breaks per-round vertex-disjointness.
+      expander::CutMatchingCertificate bad = out.cert;
+      bad.matchings.front().push_back(bad.matchings.front().front());
+      CHECK(!verify(bad).ok);
+    }
+    {  // Claiming an extra (never-played) matching alters alpha.
+      expander::CutMatchingCertificate bad = out.cert;
+      bad.matchings.push_back(bad.matchings.front());
+      CHECK(!verify(bad).ok);
+    }
   }
-  {  // Understated congestion (the bound's denominator).
-    expander::CutMatchingCertificate bad = out.cert;
-    bad.congestion = std::max<std::int64_t>(1, bad.congestion - 1);
-    bad.phi_lower = out.cert.phi_lower;
-    CHECK(!expander::verify_cut_matching(g, bad).ok);
+}
+
+TEST_CASE(fuzz_dense_implicit_equivalence) {
+  // The tentpole contract: the implicit-matrix engine (probe bank + blocked
+  // column replay) is a pure re-representation of the dense reference — the
+  // entire outcome must match bit for bit on every family, at a derived and
+  // a pinned target, for any replay block size, with and without a pool.
+  congest::ShardPool pool(3);
+  for (const std::string& family : kFamilies) {
+    for (int n : {96, 160}) {
+      Rng rng(23);
+      const Graph g = make_family(family, n, rng);
+      for (double target : {0.0, 0.08}) {
+        const std::string ctx = family + " n=" + std::to_string(n) +
+                                " target=" + Table::num(target, 2);
+        expander::CutMatchingParams gp;
+        gp.phi_target = target;
+        gp.engine = expander::CutMatchingEngine::kDense;
+        const expander::CutMatchingOutcome dense =
+            expander::cut_matching_game(g, gp);
+        CHECK_MSG(dense.engine_used == expander::CutMatchingEngine::kDense,
+                  ctx);
+
+        gp.engine = expander::CutMatchingEngine::kImplicit;
+        const expander::CutMatchingOutcome implicit_ =
+            expander::cut_matching_game(g, gp);
+        CHECK_MSG(
+            implicit_.engine_used == expander::CutMatchingEngine::kImplicit,
+            ctx);
+        same_outcome(dense, implicit_, ctx + " [implicit]");
+        // The implicit engine's state high-water must beat the dense n^2.
+        CHECK_MSG(implicit_.state_bytes_peak < dense.state_bytes_peak,
+                  ctx + ": state not smaller");
+
+        // An awkward block size that does not divide n, plus a pool: the
+        // replay is block- and thread-invariant by construction.
+        gp.replay_block = 7;
+        gp.pool = &pool;
+        const expander::CutMatchingOutcome blocked =
+            expander::cut_matching_game(g, gp);
+        same_outcome(dense, blocked, ctx + " [blocked+pooled]");
+        gp.replay_block = 0;
+        gp.pool = nullptr;
+
+        if (dense.verdict == expander::CutMatchingVerdict::kCertified) {
+          // Both serial and pooled verification accept the shared cert.
+          CHECK_MSG(expander::verify_cut_matching(g, dense.cert).ok, ctx);
+          expander::VerifyParams vp;
+          vp.replay_block = 11;
+          vp.pool = &pool;
+          CHECK_MSG(expander::verify_cut_matching(g, implicit_.cert, vp).ok,
+                    ctx);
+        }
+      }
+    }
   }
-  {  // A path step that is not an edge of the graph.
-    expander::CutMatchingCertificate bad = out.cert;
-    bad.matchings.front().front().path.insert(
-        bad.matchings.front().front().path.begin() + 1, g.n() - 1);
-    CHECK(!expander::verify_cut_matching(g, bad).ok);
-  }
-  {  // A duplicated pair breaks per-round vertex-disjointness.
-    expander::CutMatchingCertificate bad = out.cert;
-    bad.matchings.front().push_back(bad.matchings.front().front());
-    CHECK(!expander::verify_cut_matching(g, bad).ok);
-  }
-  {  // Claiming an extra (never-played) matching alters alpha.
-    expander::CutMatchingCertificate bad = out.cert;
-    bad.matchings.push_back(bad.matchings.front());
-    CHECK(!expander::verify_cut_matching(g, bad).ok);
-  }
+}
+
+TEST_CASE(fuzz_large_cluster_certify) {
+  // A cluster far above the old 1024-vertex cap certifies end to end on the
+  // implicit engine: positive replayed bound, passing pooled verification,
+  // mixing state well under the dense engine's 8 n^2 bytes.
+  Rng rng(7);
+  const Graph g = make_family("planar", 700, rng);
+  congest::ShardPool pool(3);
+  expander::PhiCertParams pc;
+  pc.game.phi_target = 0.02;
+  pc.pool = &pool;
+  const expander::PhiReport rep = expander::certified_phi(g, pc);
+  CHECK_MSG(rep.cert.verdict == PhiVerdict::kCutMatching,
+            "large cluster did not certify");
+  CHECK(rep.cert.phi > 0.0);
+  CHECK(rep.cert.certified_lower());
+  CHECK_MSG(rep.cert.phi <= rep.upper + 1e-9, "bound above witnessed upper");
+  CHECK_MSG(rep.game_state_bytes > 0 &&
+                rep.game_state_bytes <
+                    8 * static_cast<std::int64_t>(g.n()) * g.n(),
+            "state bytes not sub-quadratic");
+  // Pure function of the input: the pooled run equals a serial re-run.
+  pc.pool = nullptr;
+  const expander::PhiReport again = expander::certified_phi(g, pc);
+  CHECK(again.cert.phi == rep.cert.phi);
+  CHECK(again.game_state_bytes == rep.game_state_bytes);
 }
 
 TEST_CASE(fuzz_certify_audit) {

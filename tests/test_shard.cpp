@@ -16,8 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "apps/approx.hpp"
+#include "apps/maxcut.hpp"
 #include "congest/shard.hpp"
 #include "decomp/edt.hpp"
+#include "decomp/expander_decomp.hpp"
 #include "decomp/heavy_stars.hpp"
 #include "decomp/ldd_local.hpp"
 #include "expander/rw_routing.hpp"
@@ -294,4 +297,107 @@ TEST_CASE(rw_sharded_matches_serial) {
       }
     }
   }
+}
+
+TEST_CASE(shard_pool_nested_run_inlines) {
+  // A task that re-enters run() on its own pool must execute the nested
+  // tasks inline (the workers are busy with the outer level, so queueing
+  // would deadlock) — every task at both levels runs exactly once.
+  for (int threads : kThreadSweep) {
+    ShardPool pool(threads);
+    std::atomic<int> outer{0}, inner{0}, nested_worker_sum{0};
+    pool.run(5, [&](int /*task*/, int /*worker*/) {
+      outer.fetch_add(1, std::memory_order_relaxed);
+      pool.run(3, [&](int /*t*/, int w) {
+        inner.fetch_add(1, std::memory_order_relaxed);
+        nested_worker_sum.fetch_add(w, std::memory_order_relaxed);
+      });
+    });
+    const std::string ctx = "threads=" + std::to_string(threads);
+    CHECK_MSG(outer.load() == 5, ctx);
+    CHECK_MSG(inner.load() == 15, ctx);
+    // Inline execution always reports worker 0 to the nested tasks.
+    CHECK_MSG(nested_worker_sum.load() == 0, ctx);
+    // The pool still works after the nested episode.
+    std::atomic<int> after{0};
+    pool.run(4, [&](int, int) { after.fetch_add(1); });
+    CHECK_MSG(after.load() == 4, ctx);
+  }
+}
+
+TEST_CASE(certify_parts_pooled_bit_identical) {
+  // certify_parts fans whole clusters over the pool; the report fold runs in
+  // cluster order, so every field — counts, mins, the state high-water, the
+  // ledger charge — must equal the serial loop at every thread count.
+  for (const auto& [name, g] :
+       {std::pair<std::string, Graph>{"grid", grid_graph(16, 16)},
+        {"torus", torus_graph(12, 14)}}) {
+    const decomp::ExpanderDecomp ed =
+        decomp::expander_decomposition_minor_free(g, 0.5, {});
+    std::vector<std::vector<int>> members(ed.clustering.k);
+    for (int v = 0; v < g.n(); ++v) {
+      members[ed.clustering.cluster[v]].push_back(v);
+    }
+    expander::PhiCertParams pc;
+    const decomp::PartCertifyReport serial =
+        decomp::certify_parts(g, members, pc);
+    CHECK_MSG(serial.ok, name);
+    for (int threads : kThreadSweep) {
+      ShardPool pool(threads);
+      const decomp::PartCertifyReport pooled =
+          decomp::certify_parts(g, members, pc, &pool);
+      const std::string ctx = name + " threads=" + std::to_string(threads);
+      CHECK_MSG(serial.ok == pooled.ok, ctx);
+      CHECK_MSG(serial.clusters_certified == pooled.clusters_certified, ctx);
+      CHECK_MSG(serial.clusters_estimated == pooled.clusters_estimated, ctx);
+      CHECK_MSG(serial.min_phi_lower == pooled.min_phi_lower, ctx);
+      CHECK_MSG(serial.min_phi_estimate == pooled.min_phi_estimate, ctx);
+      CHECK_MSG(serial.max_certified_cluster == pooled.max_certified_cluster,
+                ctx);
+      CHECK_MSG(serial.state_bytes_peak == pooled.state_bytes_peak, ctx);
+      same_charges(serial.ledger, pooled.ledger, ctx);
+    }
+  }
+}
+
+TEST_CASE(apps_seam_repair_sharded_bit_identical) {
+  // The apps' seam-repair sweeps (MIS conflict drops, VC patches, the maxcut
+  // cluster-flip gain scan) route their O(m) scans through the pool; the
+  // collect-then-replay form is proven order-equivalent to the serial
+  // adjacency sweep, so solutions and charges must match bit for bit.
+  std::int64_t seam_messages = 0;  // non-vacuity: some sweep must act
+  for (const auto& [name, g] :
+       {std::pair<std::string, Graph>{"grid", grid_graph(8, 9)},
+        {"cycle", cycle_graph(601)},
+        {"torus", torus_graph(6, 8)}}) {
+    const apps::SetSolution mis_serial =
+        apps::approx_max_independent_set(g, 0.3, 3);
+    const apps::SetSolution vc_serial = apps::approx_min_vertex_cover(g, 0.3, 3);
+    const apps::CutSolution cut_serial = apps::approx_max_cut(g, 0.3);
+    for (const congest::Runtime* rt :
+         {&mis_serial.stats.runtime, &vc_serial.stats.runtime}) {
+      for (const RoundCharge& e : rt->entries()) {
+        if (e.phase.find("seam repair") != std::string::npos) {
+          seam_messages += e.messages;
+        }
+      }
+    }
+    for (int threads : kThreadSweep) {
+      ShardPool pool(threads);
+      const std::string ctx = name + " threads=" + std::to_string(threads);
+      const apps::SetSolution mis =
+          apps::approx_max_independent_set(g, 0.3, 3, &pool);
+      CHECK_MSG(mis.vertices == mis_serial.vertices, ctx + ": mis set");
+      same_charges(mis_serial.stats.runtime, mis.stats.runtime, ctx + ": mis");
+      const apps::SetSolution vc =
+          apps::approx_min_vertex_cover(g, 0.3, 3, &pool);
+      CHECK_MSG(vc.vertices == vc_serial.vertices, ctx + ": vc set");
+      same_charges(vc_serial.stats.runtime, vc.stats.runtime, ctx + ": vc");
+      const apps::CutSolution cut = apps::approx_max_cut(g, 0.3, 24, &pool);
+      CHECK_MSG(cut.value == cut_serial.value, ctx + ": cut value");
+      CHECK_MSG(cut.side == cut_serial.side, ctx + ": cut sides");
+      same_charges(cut_serial.stats.runtime, cut.stats.runtime, ctx + ": cut");
+    }
+  }
+  CHECK_MSG(seam_messages > 0, "no graph exercised the seam sweeps");
 }
