@@ -7,6 +7,8 @@
 #include "apps/approx.hpp"
 #include "apps/blossom.hpp"
 #include "apps/exact.hpp"
+#include "bench_ladder.hpp"
+#include "congest/shard.hpp"
 
 int main(int argc, char** argv) {
   using namespace mfd;
@@ -14,10 +16,14 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 8));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
   BenchJson json(cli, "matching_vc");
+  const apps::LadderConfig ladder = ladder_from_cli(cli, json);
   cli.warn_unrecognized(std::cerr);
   json.param("seed", cli.get_int("seed", 8));
   json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
+  json.param("threads", static_cast<std::int64_t>(threads));
+  congest::ShardPool pool(threads);
 
   print_header("E-MATCHVC: Corollary 6.4",
                "(1-eps) maximum matching and (1+eps) minimum vertex cover");
@@ -43,7 +49,7 @@ int main(int argc, char** argv) {
     const auto opt = apps::max_matching_edges(inst.g);
     for (double eps : {0.4, 0.25}) {
       const apps::MatchingSolution sol =
-          apps::approx_max_matching(inst.g, eps, inst.alpha);
+          apps::approx_max_matching(inst.g, eps, inst.alpha, &pool);
       if (inst.name.rfind("grid", 0) == 0 && eps == 0.25) {
         json.phases(sol.stats.runtime, 2 * inst.g.m());
         json.metric("eps", eps);
@@ -63,12 +69,21 @@ int main(int argc, char** argv) {
   tm.print(std::cout);
 
   std::cout << "\n-- minimum vertex cover\n";
-  Table tv({"instance", "eps", "|C|", "OPT", "ratio", "1+eps", "rounds"});
+  Table tv({"instance", "eps", "|C|", "OPT", "ratio", "1+eps", "rounds",
+            "tiers"});
   for (const Inst& inst : instances) {
     const apps::MisResult opt = apps::min_vertex_cover(inst.g);
     for (double eps : {0.4, 0.25}) {
-      const apps::SetSolution sol =
-          apps::approx_min_vertex_cover(inst.g, eps, inst.alpha);
+      const apps::SetSolution sol = apps::approx_min_vertex_cover(
+          inst.g, eps, inst.alpha, &pool, ladder);
+      // Outerplanar is the ladder's showcase family here: width <= 2 always
+      // certifies, so every non-forest cluster must land in the DP tier
+      // (the schema checker gates tier_tw_dp >= 1 on this trail).
+      if (inst.name.rfind("outerplanar", 0) == 0 && eps == 0.25) {
+        json.metric("vc_ratio", static_cast<double>(sol.vertices.size()) /
+                                    static_cast<double>(opt.set.size()));
+        ladder_metrics(json, sol.stats);
+      }
       tv.add_row({inst.name, Table::num(eps, 2),
                   Table::integer(static_cast<long long>(sol.vertices.size())),
                   Table::integer(static_cast<long long>(opt.set.size())),
@@ -76,7 +91,8 @@ int main(int argc, char** argv) {
                                  static_cast<double>(opt.set.size()),
                              3),
                   Table::num(1 + eps, 2),
-                  Table::integer(sol.stats.total_rounds)});
+                  Table::integer(sol.stats.total_rounds),
+                  tier_cell(sol.stats)});
     }
   }
   tv.print(std::cout);

@@ -9,6 +9,8 @@
 #include "bench_common.hpp"
 #include "apps/approx.hpp"
 #include "apps/maxcut.hpp"
+#include "bench_ladder.hpp"
+#include "congest/shard.hpp"
 
 int main(int argc, char** argv) {
   using namespace mfd;
@@ -16,15 +18,19 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 6));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
   BenchJson json(cli, "maxcut");
+  const apps::LadderConfig ladder = ladder_from_cli(cli, json);
   cli.warn_unrecognized(std::cerr);
   json.param("seed", cli.get_int("seed", 6));
   json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
+  json.param("threads", static_cast<std::int64_t>(threads));
+  congest::ShardPool pool(threads);
 
   print_header("E-MAXCUT: Corollary 6.3", "(1-eps)-approximate max cut");
 
   Table t({"instance", "eps", "cut value", "OPT (or bound)", "ratio",
-           "1-eps", "rounds", "T"});
+           "1-eps", "rounds", "T", "tiers"});
   struct Inst {
     std::string name;
     Graph g;
@@ -47,19 +53,21 @@ int main(int argc, char** argv) {
   }
   for (const Inst& inst : instances) {
     for (double eps : {0.4, 0.25, 0.15}) {
-      const apps::CutSolution sol = apps::approx_max_cut(inst.g, eps);
+      const apps::CutSolution sol =
+          apps::approx_max_cut(inst.g, eps, 24, &pool, ladder);
       if (inst.name.rfind("grid", 0) == 0 && eps == 0.25) {
         json.phases(sol.stats.runtime, 2 * inst.g.m());
         json.metric("eps", eps);
         json.metric("cut_value", sol.value);
         json.metric("ratio", static_cast<double>(sol.value) / inst.opt);
+        ladder_metrics(json, sol.stats);
       }
       t.add_row({inst.name, Table::num(eps, 2), Table::integer(sol.value),
                  Table::integer(inst.opt),
                  Table::num(static_cast<double>(sol.value) / inst.opt, 3),
                  Table::num(1 - eps, 2),
                  Table::integer(sol.stats.total_rounds),
-                 Table::integer(sol.stats.T)});
+                 Table::integer(sol.stats.T), tier_cell(sol.stats)});
     }
   }
   t.print(std::cout);

@@ -7,9 +7,14 @@
 // (ε*, D, T)-decomposition optimally, with ε* = ε/(α(Δ+1)) turning the
 // additive ε*·|E| combination loss into a multiplicative (1+ε).  The ratio
 // column must stay <= 1+ε; the greedy baseline shows what the decomposition
-// buys.
+// buys; the tiers column shows which ladder rung solved each cluster.
+#include <algorithm>
+#include <chrono>
+
 #include "apps/domination.hpp"
 #include "bench_common.hpp"
+#include "bench_ladder.hpp"
+#include "congest/shard.hpp"
 
 int main(int argc, char** argv) {
   using namespace mfd;
@@ -17,29 +22,47 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 11));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
   BenchJson json(cli, "mds");
+  const apps::LadderConfig ladder = ladder_from_cli(cli, json);
   cli.warn_unrecognized(std::cerr);
   json.param("seed", cli.get_int("seed", 11));
   json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
+  json.param("threads", static_cast<std::int64_t>(threads));
+  congest::ShardPool pool(threads);
 
   print_header("E-MDS: covering application",
                "(1+eps)-approximate minimum dominating set");
 
+  // Exact OPT baseline: the treewidth DP when a width <= 12 decomposition
+  // certifies (the 12x12 grid solves in well under a second where branch &
+  // bound costs minutes), branch & bound otherwise.
+  const auto exact_mds = [](const Graph& g) {
+    const apps::TreeDecomposition td = apps::tree_decomposition(g, 12);
+    if (td.complete && td.width <= 12) {
+      return apps::tw_min_dominating_set(g, apps::nice_tree_decomposition(td));
+    }
+    return apps::min_dominating_set(g).set;
+  };
+
   {
-    std::cout << "-- ratio sweep (exact OPT via branch & bound)\n";
+    std::cout << "-- ratio sweep (exact OPT via treewidth DP / branch & "
+                 "bound)\n";
     Table t({"instance", "eps", "|D|", "OPT", "ratio", "1+eps", "greedy",
-             "rounds"});
+             "rounds", "tiers"});
     struct Inst {
       std::string name;
       Graph g;
       int alpha;
     };
-    // The exact-OPT branch and bound is the sizing constraint here: grids
-    // are its hardest family (near-perfect domination keeps the 2-packing
-    // bound tight but the tree wide), so the grid stays at 10x10 = 0.3 s
-    // exact — 12x12 already costs minutes (see docs/BENCHMARKS.md).
+    // Exact OPT used to be the sizing constraint here: grids are branch &
+    // bound's hardest family (near-perfect domination keeps the 2-packing
+    // bound tight but the tree wide), which pinned the grid at 10x10. The
+    // treewidth-DP tier certifies a k x k grid at width k via its BFS-sweep
+    // elimination order, so 12x12 is now exact in milliseconds (see
+    // docs/BENCHMARKS.md).
     const int np = smoke ? 60 : 90, no = smoke ? 80 : 120,
-              nt = smoke ? 100 : 160, side = smoke ? 8 : 10;
+              nt = smoke ? 100 : 160, side = smoke ? 8 : 12;
     std::vector<Inst> instances;
     instances.push_back({"planar(" + std::to_string(np) + ")",
                          random_maximal_planar(np, rng), 3});
@@ -50,30 +73,67 @@ int main(int argc, char** argv) {
     instances.push_back({"grid(" + std::to_string(side * side) + ")",
                          grid_graph(side, side), 3});
     for (const Inst& inst : instances) {
-      const apps::MdsResult opt = apps::min_dominating_set(inst.g);
+      const std::vector<int> opt = exact_mds(inst.g);
       const std::vector<int> greedy = apps::greedy_dominating_set(inst.g);
       for (double eps : {0.6, 0.4}) {
-        const apps::MdsSolution sol =
-            apps::approx_min_dominating_set(inst.g, eps, inst.alpha);
+        const apps::MdsSolution sol = apps::approx_min_dominating_set(
+            inst.g, eps, inst.alpha, &pool, ladder);
         if (inst.name.rfind("grid", 0) == 0 && eps == 0.4) {
           json.phases(sol.stats.runtime, 2 * inst.g.m());
           json.metric("eps", eps);
           json.metric("ratio", static_cast<double>(sol.vertices.size()) /
-                                   static_cast<double>(opt.set.size()));
+                                   static_cast<double>(opt.size()));
+          ladder_metrics(json, sol.stats);
         }
         t.add_row(
             {inst.name, Table::num(eps, 2),
              Table::integer(static_cast<long long>(sol.vertices.size())),
-             Table::integer(static_cast<long long>(opt.set.size())),
+             Table::integer(static_cast<long long>(opt.size())),
              Table::num(static_cast<double>(sol.vertices.size()) /
-                            static_cast<double>(opt.set.size()),
+                            static_cast<double>(opt.size()),
                         3),
              Table::num(1 + eps, 2),
              Table::integer(static_cast<long long>(greedy.size())),
-             Table::integer(sol.stats.total_rounds)});
+             Table::integer(sol.stats.total_rounds), tier_cell(sol.stats)});
       }
     }
     t.print(std::cout);
+  }
+
+  {
+    // The tentpole demo: a 12x12 grid treated as ONE cluster. Branch &
+    // bound needs minutes here; the width-12 DP (BFS-sweep elimination
+    // order, 3^13-state dominating-set kernel) is exact in milliseconds.
+    std::cout << "\n-- treewidth-DP showcase (12x12 grid as one cluster)\n";
+    const Graph g = grid_graph(12, 12);
+    apps::LadderConfig cfg = ladder;
+    cfg.tw_cap = std::max(ladder.tw_cap, 12);
+    cfg.mode = apps::SolverMode::kTreewidth;  // no branch & bound rescue
+    apps::TierReport rep;
+    const std::vector<int> set = apps::detail::cluster_mds(g, cfg, rep);
+    std::vector<char> dominated(g.n(), 0);
+    for (int v : set) {
+      dominated[v] = 1;
+      for (int w : g.neighbors(v)) dominated[w] = 1;
+    }
+    const bool valid =
+        std::count(dominated.begin(), dominated.end(), char{1}) == g.n();
+    const bool via_dp = rep.tier == apps::SolveTier::kTreewidthDp;
+    std::cout << "  |D| = " << set.size() << " (width " << rep.width
+              << " decomposition, " << Table::num(rep.ms, 1) << " ms, tier "
+              << (via_dp ? "tw_dp" : "NOT tw_dp") << ", "
+              << (valid ? "dominates all 144 vertices" : "INVALID") << ")\n";
+    json.metric("tw_showcase_width", static_cast<std::int64_t>(rep.width));
+    json.metric("tw_showcase_ms", rep.ms);
+    json.metric("tw_showcase_size",
+                static_cast<std::int64_t>(set.size()));
+    json.metric("tw_showcase_via_dp",
+                static_cast<std::int64_t>(via_dp ? 1 : 0));
+    json.metric("tw_showcase_valid", static_cast<std::int64_t>(valid ? 1 : 0));
+    if (!valid || !via_dp) {
+      std::cerr << "treewidth-DP showcase FAILED\n";
+      return 1;
+    }
   }
 
   {
@@ -81,24 +141,26 @@ int main(int argc, char** argv) {
     // the rounds column isolates the n-dependence (random triangulations
     // grow Δ with n, which shrinks eps* and conflates the two effects).
     std::cout << "\n-- rounds vs n (fixed eps = 0.5, grid)\n";
-    Table t({"n", "rounds", "T", "clusters", "eps* used"});
+    Table t({"n", "rounds", "T", "clusters", "eps* used", "tiers"});
     for (int n : smoke ? std::vector<int>{196, 784}
                        : std::vector<int>{196, 784, 3136}) {
       int side = 1;
       while (side * side < n) ++side;
       const Graph g = grid_graph(side, side);
       const apps::MdsSolution sol =
-          apps::approx_min_dominating_set(g, 0.5, /*alpha=*/3);
+          apps::approx_min_dominating_set(g, 0.5, /*alpha=*/3, &pool, ladder);
       t.add_row({Table::integer(n), Table::integer(sol.stats.total_rounds),
                  Table::integer(sol.stats.T),
                  Table::integer(sol.stats.clusters),
-                 Table::num(sol.eps_star, 4)});
+                 Table::num(sol.eps_star, 4), tier_cell(sol.stats)});
     }
     t.print(std::cout);
   }
 
   std::cout << "\nShape checks: ratio <= 1+eps on every row; greedy is the "
-               "ln(Delta)-factor baseline the decomposition beats.\n";
+               "ln(Delta)-factor baseline the decomposition beats; tiers "
+               "F/TW/BB/G count clusters per ladder rung and sum to the "
+               "cluster count.\n";
   json.write();
   return 0;
 }

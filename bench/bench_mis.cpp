@@ -10,6 +10,8 @@
 #include "bench_common.hpp"
 #include "apps/approx.hpp"
 #include "apps/exact.hpp"
+#include "bench_ladder.hpp"
+#include "congest/shard.hpp"
 
 int main(int argc, char** argv) {
   using namespace mfd;
@@ -17,16 +19,21 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   Rng rng(cli.get_int("seed", 7));
   const bool smoke = cli.has("smoke");  // trimmed instances for ctest/CI
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
   BenchJson json(cli, "mis");
+  const apps::LadderConfig ladder = ladder_from_cli(cli, json);
   cli.warn_unrecognized(std::cerr);
   json.param("seed", cli.get_int("seed", 7));
   json.param("smoke", static_cast<std::int64_t>(smoke ? 1 : 0));
+  json.param("threads", static_cast<std::int64_t>(threads));
+  congest::ShardPool pool(threads);
 
   print_header("E-MIS: Corollary 6.5 + Theorem 6.1",
                "(1-eps)-approximate maximum independent set");
 
   std::cout << "-- ratio sweep (exact OPT via branch & bound)\n";
-  Table t({"instance", "eps", "|I|", "OPT", "ratio", "1-eps", "rounds", "T"});
+  Table t({"instance", "eps", "|I|", "OPT", "ratio", "1-eps", "rounds", "T",
+           "tiers"});
   struct Inst {
     std::string name;
     Graph g;
@@ -44,13 +51,14 @@ int main(int argc, char** argv) {
   for (const Inst& inst : instances) {
     const apps::MisResult opt = apps::max_independent_set(inst.g);
     for (double eps : {0.5, 0.3}) {
-      const apps::SetSolution sol =
-          apps::approx_max_independent_set(inst.g, eps, inst.alpha);
+      const apps::SetSolution sol = apps::approx_max_independent_set(
+          inst.g, eps, inst.alpha, &pool, ladder);
       if (inst.name.rfind("planar", 0) == 0 && eps == 0.3) {
         json.phases(sol.stats.runtime, 2 * inst.g.m());
         json.metric("eps", eps);
         json.metric("ratio", static_cast<double>(sol.vertices.size()) /
                                  static_cast<double>(opt.set.size()));
+        ladder_metrics(json, sol.stats);
       }
       t.add_row({inst.name, Table::num(eps, 2),
                  Table::integer(static_cast<long long>(sol.vertices.size())),
@@ -60,7 +68,7 @@ int main(int argc, char** argv) {
                             3),
                  Table::num(1 - eps, 2),
                  Table::integer(sol.stats.total_rounds),
-                 Table::integer(sol.stats.T)});
+                 Table::integer(sol.stats.T), tier_cell(sol.stats)});
     }
   }
   t.print(std::cout);
@@ -71,7 +79,8 @@ int main(int argc, char** argv) {
   for (int n : smoke ? std::vector<int>{100, 1000, 10000}
                      : std::vector<int>{100, 1000, 10000, 100000}) {
     const Graph c = cycle_graph(n);
-    const apps::SetSolution sol = apps::approx_max_independent_set(c, 0.3, 1);
+    const apps::SetSolution sol =
+        apps::approx_max_independent_set(c, 0.3, 1, &pool, ladder);
     // OPT of a cycle = floor(n/2).
     t2.add_row({Table::integer(n), Table::integer(log_star(n)),
                 Table::integer(sol.stats.total_rounds),

@@ -44,6 +44,16 @@ flat-vs-pointer-walk equivalence gate (equiv_ok == 1 over >= 1 sampled
 pairs), and multi-thread throughput no worse than single-thread. The
 multi-thread floor tolerates 15% timing noise on few-core CI runners; on a
 one-thread host the bench reports multi == single by construction.
+
+The four cluster-solver application benches (bench in {"mds", "mis",
+"matching_vc", "maxcut"}) additionally publish the solver-ladder audit
+trail (docs/ARCHITECTURE.md, "The solver ladder"): per-tier cluster counts
+that sum to the cluster count, a DP-width high-water mark within the
+--tw_cap gate, and a self-consistent exact-search effort trail. The mis,
+matching_vc and maxcut representatives are chosen so the treewidth-DP tier
+must fire (tier_tw_dp >= 1); mds instead gates its dedicated 12x12-grid
+showcase: solved BY the DP tier, witness dominates every vertex, under
+10 seconds of wall time.
 """
 import glob
 import json
@@ -128,6 +138,8 @@ def check_file(path):
     if doc["bench"] == "expander_decomp" and not check_expander_decomp(path, doc):
         return False
     if doc["bench"] == "route_serve" and not check_route_serve(path, doc):
+        return False
+    if doc["bench"] in LADDER_BENCHES and not check_ladder(path, doc):
         return False
 
     print(f"{path}: ok ({len(phases)} phases, {messages_sum} messages)")
@@ -240,6 +252,92 @@ def check_expander_decomp(path, doc):
           f"n={scale['certify_scale_n']}, pooled "
           f"{walls['certify_wall_pooled_ms']:.1f} ms vs serial "
           f"{walls['certify_wall_serial_ms']:.1f} ms)")
+    return True
+
+
+# Application benches whose representative run publishes the solver-ladder
+# audit trail (per-tier cluster counts + exact-search effort).
+LADDER_BENCHES = {"mds", "mis", "matching_vc", "maxcut"}
+
+# The in-header clamp on the DP tier's width gate (apps/treewidth.hpp,
+# LadderConfig::tw_cap): a generous --tw_cap can never admit wider tables.
+TW_CAP_CLAMP = 13
+
+
+def check_ladder(path, doc):
+    """Cluster-solver bench extras: the solver-ladder audit trail."""
+    bench, params, metrics = doc["bench"], doc["params"], doc["metrics"]
+    tiers = {}
+    for key in ("tier_forest", "tier_tw_dp", "tier_bb", "tier_greedy"):
+        val = metrics.get(key)
+        if not isinstance(val, INT) or isinstance(val, bool) or val < 0:
+            return fail(path, f"{bench}: metrics.{key} invalid ({val!r})")
+        tiers[key] = val
+    clusters = metrics.get("clusters")
+    if not isinstance(clusters, INT) or isinstance(clusters, bool) or \
+            clusters < 1:
+        return fail(path, f"{bench}: metrics.clusters invalid ({clusters!r})")
+    if sum(tiers.values()) != clusters:
+        return fail(path, f"{bench}: tier counts sum to {sum(tiers.values())}, "
+                          f"clusters is {clusters}")
+    tw_cap = params.get("tw_cap")
+    if not isinstance(tw_cap, INT) or isinstance(tw_cap, bool) or tw_cap < 0:
+        return fail(path, f"{bench}: params.tw_cap invalid ({tw_cap!r})")
+    width = metrics.get("max_width_dp")
+    if not isinstance(width, INT) or isinstance(width, bool):
+        return fail(path, f"{bench}: metrics.max_width_dp invalid ({width!r})")
+    if tiers["tier_tw_dp"] > 0 and not 0 <= width <= min(tw_cap, TW_CAP_CLAMP):
+        return fail(path, f"{bench}: max_width_dp={width} escapes the "
+                          f"tw_cap={tw_cap} gate")
+    if tiers["tier_tw_dp"] == 0 and width != -1:
+        return fail(path, f"{bench}: max_width_dp={width} without a DP solve")
+    # Exact-search effort: every launched search explored >= 1 node; a
+    # search that survived its budget lands in the bb tier, a blown one
+    # falls back to the greedy tier.
+    effort = {}
+    for key in ("bb_runs", "bb_nodes", "bb_exact_runs"):
+        val = metrics.get(key)
+        if not isinstance(val, INT) or isinstance(val, bool) or val < 0:
+            return fail(path, f"{bench}: metrics.{key} invalid ({val!r})")
+        effort[key] = val
+    if effort["bb_exact_runs"] > effort["bb_runs"]:
+        return fail(path, f"{bench}: bb_exact_runs exceeds bb_runs ({effort})")
+    if effort["bb_runs"] > 0 and effort["bb_nodes"] < effort["bb_runs"]:
+        return fail(path, f"{bench}: bb_nodes below bb_runs ({effort})")
+    if tiers["tier_bb"] != effort["bb_exact_runs"]:
+        return fail(path, f"{bench}: tier_bb ({tiers['tier_bb']}) != "
+                          f"bb_exact_runs ({effort['bb_exact_runs']})")
+    if effort["bb_runs"] - effort["bb_exact_runs"] > tiers["tier_greedy"]:
+        return fail(path, f"{bench}: more blown searches than greedy "
+                          f"clusters ({effort} vs {tiers})")
+    solve_ms = metrics.get("solve_ms")
+    if not isinstance(solve_ms, NUM) or isinstance(solve_ms, bool) or \
+            solve_ms < 0:
+        return fail(path, f"{bench}: metrics.solve_ms invalid ({solve_ms!r})")
+    # Exact coverage floors. The mis / matching_vc / maxcut representatives
+    # (planar, outerplanar, grid) are chosen so the width gate certifies at
+    # least one cluster; mds gates its dedicated showcase below instead.
+    if bench != "mds" and tiers["tier_tw_dp"] < 1:
+        return fail(path, f"{bench}: treewidth-DP tier never fired ({tiers})")
+    if bench == "mds":
+        for key, lo, hi in (("tw_showcase_via_dp", 1, 1),
+                            ("tw_showcase_valid", 1, 1),
+                            ("tw_showcase_width", 1, TW_CAP_CLAMP),
+                            ("tw_showcase_size", 1, 144)):
+            val = metrics.get(key)
+            if not isinstance(val, INT) or isinstance(val, bool) or \
+                    not lo <= val <= hi:
+                return fail(path, f"mds: metrics.{key} invalid ({val!r}, "
+                                  f"want [{lo}, {hi}])")
+        ms = metrics.get("tw_showcase_ms")
+        if not isinstance(ms, NUM) or isinstance(ms, bool) or \
+                not 0 <= ms < 10_000:
+            return fail(path, f"mds: tw_showcase_ms invalid ({ms!r}, the "
+                              f"12x12 DP solve must stay under 10 s)")
+    print(f"{path}: solver-ladder trail ok (F{tiers['tier_forest']}/"
+          f"TW{tiers['tier_tw_dp']}/BB{tiers['tier_bb']}/"
+          f"G{tiers['tier_greedy']} over {clusters} clusters, "
+          f"max DP width {width})")
     return True
 
 

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -39,6 +40,7 @@
 
 #include "apps/blossom.hpp"
 #include "apps/exact.hpp"
+#include "apps/treewidth.hpp"
 #include "congest/runtime.hpp"
 #include "congest/shard.hpp"
 #include "decomp/edt.hpp"
@@ -101,6 +103,61 @@ inline double clamp_eps_star(double eps_star) {
   return std::max(eps_star, 1e-6);
 }
 
+/// The width-gated cluster MIS ladder (apps/treewidth.hpp tiers): forest
+/// clusters solve by reductions alone (every tree has a leaf, so MisSolver
+/// never branches there), medium clusters by the treewidth DP when the
+/// capped probe certifies width <= tw_cap, then the budgeted B&B, then the
+/// greedy completion (a budget-0 solve: reductions + min-degree greedy).
+inline std::vector<int> cluster_mis(const Graph& h, const LadderConfig& cfg,
+                                    TierReport& rep) {
+  rep = TierReport{};
+  if (h.n() == 0) return {};
+  const auto t0 = std::chrono::steady_clock::now();
+  rep.solved = true;
+  std::vector<int> sol;
+  NiceTreeDecomposition nd;
+  if (cfg.mode == SolverMode::kGreedy) {
+    sol = max_independent_set(h, 0, nullptr).set;
+    rep.tier = SolveTier::kGreedy;
+  } else if (h.m() == h.n() - 1) {  // connected cluster with tree edge count
+    sol = max_independent_set(h).set;
+    rep.tier = SolveTier::kForest;
+  } else if (ladder_tw_probe(h, cfg, nd)) {
+    sol = tw_max_independent_set(h, nd);
+    rep.tier = SolveTier::kTreewidthDp;
+    rep.width = nd.width;
+  } else if (cfg.mode != SolverMode::kTreewidth) {
+    MisSearchReport r;
+    sol = max_independent_set(h, cfg.node_budget, &r).set;
+    rep.bb_ran = true;
+    rep.bb_nodes = r.nodes;
+    rep.bb_exact = r.exact;
+    rep.tier = r.exact ? SolveTier::kBranchBound : SolveTier::kGreedy;
+  } else {  // kTreewidth mode past the width gate: no B&B rescue
+    sol = max_independent_set(h, 0, nullptr).set;
+    rep.tier = SolveTier::kGreedy;
+  }
+  rep.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+  return sol;
+}
+
+/// Cluster VC: the complement of the cluster MIS ladder's witness — a valid
+/// cover for every tier (the complement of ANY independent set covers all
+/// edges), minimum whenever the tier was exact. Same tier report.
+inline std::vector<int> cluster_vc(const Graph& h, const LadderConfig& cfg,
+                                   TierReport& rep) {
+  const std::vector<int> mis = cluster_mis(h, cfg, rep);
+  std::vector<char> in_set(h.n(), 0);
+  for (int v : mis) in_set[v] = 1;
+  std::vector<int> out;
+  for (int v = 0; v < h.n(); ++v) {
+    if (!in_set[v]) out.push_back(v);
+  }
+  return out;
+}
+
 /// Sharded seam-candidate scan: collect the cut-edge pairs (u, v), u < v,
 /// for which `want(u, v)` holds on the PRE-SWEEP state, in lexicographic
 /// order. The O(m) adjacency walk is the hot part of both seam sweeps, and
@@ -141,12 +198,15 @@ inline std::vector<std::pair<int, int>> collect_seam_candidates(
 }  // namespace detail
 
 /// Corollary 6.5: deterministic (1-eps)-approximate maximum independent set.
-/// alpha is the family's density bound (m <= alpha*n). `pool` shards the
-/// seam-repair candidate scan; the result is bit-identical to the serial
-/// sweep at every thread count (test_shard gates it).
+/// alpha is the family's density bound (m <= alpha*n). `pool` fans the
+/// per-cluster ladder solves (vertex-disjoint clusters, deterministic
+/// ladder, folded in cluster order) and shards the seam-repair candidate
+/// scan; the result is bit-identical to the serial sweep at every thread
+/// count (test_shard gates it). `ladder` selects the solver tiers.
 inline SetSolution approx_max_independent_set(const Graph& g, double eps,
                                               int alpha,
-                                              congest::ShardPool* pool = nullptr) {
+                                              congest::ShardPool* pool = nullptr,
+                                              const LadderConfig& ladder = {}) {
   SetSolution out;
   const double a = std::max(alpha, 1);
   const double eps_star =
@@ -154,12 +214,27 @@ inline SetSolution approx_max_independent_set(const Graph& g, double eps,
   const detail::AppDecomposition dec =
       detail::decompose_for_app(g, eps_star, out.stats);
 
-  std::vector<char> in_set(g.n(), 0);
-  for (const std::vector<int>& verts : dec.members) {
-    if (verts.empty()) continue;
+  const int k = static_cast<int>(dec.members.size());
+  std::vector<std::vector<int>> local(k);
+  std::vector<TierReport> reports(k);
+  const auto solve_one = [&](int c) {
+    const std::vector<int>& verts = dec.members[c];
+    if (verts.empty()) return;
     const InducedSubgraph sub = induced_subgraph(g, verts);
-    const MisResult local = max_independent_set(sub.graph);
-    for (int i : local.set) in_set[sub.to_parent[i]] = 1;
+    const std::vector<int> s =
+        detail::cluster_mis(sub.graph, ladder, reports[c]);
+    local[c].reserve(s.size());
+    for (int i : s) local[c].push_back(sub.to_parent[i]);
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->run(k, [&](int task, int) { solve_one(task); });
+  } else {
+    for (int c = 0; c < k; ++c) solve_one(c);
+  }
+  std::vector<char> in_set(g.n(), 0);
+  for (int c = 0; c < k; ++c) {
+    accumulate_tier(out.stats, reports[c]);
+    for (int v : local[c]) in_set[v] = 1;
   }
   // Seam repair: a cut edge with both endpoints chosen drops its larger
   // endpoint — at most one loss per cut edge, which eps* budgeted for.
@@ -191,8 +266,13 @@ inline SetSolution approx_max_independent_set(const Graph& g, double eps,
 
 /// Corollary 6.4 (matching half): deterministic (1-eps)-approximate maximum
 /// matching via per-cluster blossom on the (ε*, D, T)-decomposition.
+/// Blossom is polynomial, so there is no solver ladder here — but the
+/// per-cluster solves still fan over `pool` (vertex-disjoint clusters,
+/// deterministic solver, edges folded in cluster order then sorted:
+/// bit-identical to the serial sweep).
 inline MatchingSolution approx_max_matching(const Graph& g, double eps,
-                                            int alpha) {
+                                            int alpha,
+                                            congest::ShardPool* pool = nullptr) {
   (void)alpha;  // the matching bound is degree- not density-driven
   MatchingSolution out;
   const double eps_star =
@@ -200,13 +280,24 @@ inline MatchingSolution approx_max_matching(const Graph& g, double eps,
   const detail::AppDecomposition dec =
       detail::decompose_for_app(g, eps_star, out.stats);
 
-  for (const std::vector<int>& verts : dec.members) {
-    if (verts.size() < 2) continue;
+  const int k = static_cast<int>(dec.members.size());
+  std::vector<std::vector<std::pair<int, int>>> local(k);
+  const auto solve_one = [&](int c) {
+    const std::vector<int>& verts = dec.members[c];
+    if (verts.size() < 2) return;
     const InducedSubgraph sub = induced_subgraph(g, verts);
     for (const auto& [a, b] : max_matching_edges(sub.graph)) {
       const int u = sub.to_parent[a], v = sub.to_parent[b];
-      out.edges.emplace_back(std::min(u, v), std::max(u, v));
+      local[c].emplace_back(std::min(u, v), std::max(u, v));
     }
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->run(k, [&](int task, int) { solve_one(task); });
+  } else {
+    for (int c = 0; c < k; ++c) solve_one(c);
+  }
+  for (int c = 0; c < k; ++c) {
+    out.edges.insert(out.edges.end(), local[c].begin(), local[c].end());
   }
   std::sort(out.edges.begin(), out.edges.end());
   out.stats.finish();
@@ -214,10 +305,13 @@ inline MatchingSolution approx_max_matching(const Graph& g, double eps,
 }
 
 /// Corollary 6.4 (cover half): deterministic (1+eps)-approximate minimum
-/// vertex cover — per-cluster exact covers plus one endpoint per cut edge.
+/// vertex cover — per-cluster ladder covers plus one endpoint per cut edge.
+/// `pool` fans the per-cluster solves and shards the seam scan; `ladder`
+/// selects the solver tiers.
 inline SetSolution approx_min_vertex_cover(const Graph& g, double eps,
                                            int alpha,
-                                           congest::ShardPool* pool = nullptr) {
+                                           congest::ShardPool* pool = nullptr,
+                                           const LadderConfig& ladder = {}) {
   (void)alpha;
   SetSolution out;
   const double eps_star =
@@ -225,12 +319,27 @@ inline SetSolution approx_min_vertex_cover(const Graph& g, double eps,
   const detail::AppDecomposition dec =
       detail::decompose_for_app(g, eps_star, out.stats);
 
-  std::vector<char> in_cover(g.n(), 0);
-  for (const std::vector<int>& verts : dec.members) {
-    if (verts.empty()) continue;
+  const int k = static_cast<int>(dec.members.size());
+  std::vector<std::vector<int>> local(k);
+  std::vector<TierReport> reports(k);
+  const auto solve_one = [&](int c) {
+    const std::vector<int>& verts = dec.members[c];
+    if (verts.empty()) return;
     const InducedSubgraph sub = induced_subgraph(g, verts);
-    const MisResult local = min_vertex_cover(sub.graph);
-    for (int i : local.set) in_cover[sub.to_parent[i]] = 1;
+    const std::vector<int> s =
+        detail::cluster_vc(sub.graph, ladder, reports[c]);
+    local[c].reserve(s.size());
+    for (int i : s) local[c].push_back(sub.to_parent[i]);
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->run(k, [&](int task, int) { solve_one(task); });
+  } else {
+    for (int c = 0; c < k; ++c) solve_one(c);
+  }
+  std::vector<char> in_cover(g.n(), 0);
+  for (int c = 0; c < k; ++c) {
+    accumulate_tier(out.stats, reports[c]);
+    for (int v : local[c]) in_cover[v] = 1;
   }
   // Every cut edge must be covered too: take its smaller endpoint unless one
   // endpoint is already in. Sharded like the MIS sweep — candidates are the

@@ -10,23 +10,29 @@
 // O(cut) and the additive eps*·m loss becomes multiplicative via
 // gamma(G) >= n / (Delta + 1) and m <= alpha * n.
 //
-// Per-cluster solver ladder (all deterministic): exact tree DP on forest
-// clusters of any size; branch-and-bound — candidate branching on a
-// fewest-dominator white vertex with a greedy 2-packing lower bound (closed
-// neighborhoods of a 2-packing are disjoint, so any dominating set spends
-// one vertex per packed vertex) — inside a node budget; greedy plus
-// redundancy pruning when the budget blows. min_dominating_set (the exact
-// baseline) runs the same B&B with an unbounded budget.
+// Per-cluster solver ladder (all deterministic, apps/treewidth.hpp's
+// width-gated four tiers): exact tree DP on forest clusters of any size;
+// the treewidth DP when the capped decomposition probe certifies width <=
+// tw_cap; branch-and-bound — candidate branching on a fewest-dominator
+// white vertex with a greedy 2-packing lower bound (closed neighborhoods of
+// a 2-packing are disjoint, so any dominating set spends one vertex per
+// packed vertex) — inside a node budget; greedy plus redundancy pruning
+// when the budget blows. Per-tier cluster counts and B&B effort land in
+// congest::SolverStats. min_dominating_set (the exact baseline) runs the
+// same B&B with an unbounded budget.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "apps/approx.hpp"
+#include "apps/treewidth.hpp"
 #include "congest/runtime.hpp"
+#include "congest/shard.hpp"
 #include "graph/graph.hpp"
 #include "graph/ops.hpp"
 
@@ -224,6 +230,7 @@ class MdsBranch {
   }
 
   bool exact() const { return exact_; }
+  std::int64_t nodes() const { return nodes_; }
 
  private:
   int coverage(int v) const {
@@ -331,20 +338,51 @@ class MdsBranch {
   bool exact_ = true;
 };
 
-/// Cluster solver ladder: exact on forests, budgeted B&B, greedy + pruning.
-inline std::vector<int> cluster_mds(const Graph& h,
-                                    std::int64_t node_budget = 250'000) {
+/// The width-gated cluster ladder: forest tree-DP -> treewidth DP (computed
+/// width <= tw_cap) -> budgeted B&B -> greedy + pruning. Fills `rep` with
+/// the tier that produced the answer, the certified width when the DP ran,
+/// the B&B effort when that tier ran, and the wall time of this solve.
+inline std::vector<int> cluster_mds(const Graph& h, const LadderConfig& cfg,
+                                    TierReport& rep) {
+  rep = TierReport{};
   if (h.n() == 0) return {};
-  if (h.m() == h.n() - 1) {  // connected cluster with tree edge count
-    return tree_mds(h);
+  const auto t0 = std::chrono::steady_clock::now();
+  rep.solved = true;
+  std::vector<int> sol;
+  NiceTreeDecomposition nd;
+  if (cfg.mode == SolverMode::kGreedy) {
+    sol = greedy_mds(h);
+    prune_redundant(h, sol);
+    rep.tier = SolveTier::kGreedy;
+  } else if (h.m() == h.n() - 1) {  // connected cluster with tree edge count
+    sol = tree_mds(h);
+    rep.tier = SolveTier::kForest;
+  } else if (ladder_tw_probe(h, cfg, nd)) {
+    sol = tw_min_dominating_set(h, nd);
+    rep.tier = SolveTier::kTreewidthDp;
+    rep.width = nd.width;
+  } else if (cfg.mode != SolverMode::kTreewidth) {
+    MdsBranch bb(h, cfg.node_budget);
+    sol = bb.solve();
+    rep.bb_ran = true;
+    rep.bb_nodes = bb.nodes();
+    rep.bb_exact = bb.exact();
+    if (bb.exact()) {
+      rep.tier = SolveTier::kBranchBound;
+    } else {
+      rep.tier = SolveTier::kGreedy;
+      std::vector<int> fallback = greedy_mds(h);
+      prune_redundant(h, fallback);
+      if (fallback.size() < sol.size()) sol = std::move(fallback);
+    }
+  } else {  // kTreewidth mode past the width gate: no B&B rescue
+    sol = greedy_mds(h);
+    prune_redundant(h, sol);
+    rep.tier = SolveTier::kGreedy;
   }
-  MdsBranch bb(h, node_budget);
-  std::vector<int> sol = bb.solve();
-  if (!bb.exact()) {
-    std::vector<int> fallback = greedy_mds(h);
-    prune_redundant(h, fallback);
-    if (fallback.size() < sol.size()) sol = std::move(fallback);
-  }
+  rep.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
   return sol;
 }
 
@@ -379,9 +417,15 @@ inline std::vector<int> greedy_dominating_set(const Graph& g) {
 
 /// The covering application: deterministic (1+eps)-approximate minimum
 /// dominating set via per-cluster domination on the (ε*, D, T)-decomposition
-/// with eps* = eps / (alpha * (Delta + 1)).
+/// with eps* = eps / (alpha * (Delta + 1)). `pool` fans the per-cluster
+/// ladder solves (clusters are vertex-disjoint and the ladder is
+/// deterministic; results fold in cluster order, so the output is
+/// bit-identical to the serial sweep — test_shard gates it); `ladder`
+/// selects the solver tiers (the benches' --tw_cap / --solver knobs).
 inline MdsSolution approx_min_dominating_set(const Graph& g, double eps,
-                                             int alpha) {
+                                             int alpha,
+                                             congest::ShardPool* pool = nullptr,
+                                             const LadderConfig& ladder = {}) {
   MdsSolution out;
   const double a = std::max(alpha, 1);
   out.eps_star =
@@ -389,12 +433,26 @@ inline MdsSolution approx_min_dominating_set(const Graph& g, double eps,
   const detail::AppDecomposition dec =
       detail::decompose_for_app(g, out.eps_star, out.stats);
 
-  for (const std::vector<int>& verts : dec.members) {
-    if (verts.empty()) continue;
+  const int k = static_cast<int>(dec.members.size());
+  std::vector<std::vector<int>> local(k);
+  std::vector<TierReport> reports(k);
+  const auto solve_one = [&](int c) {
+    const std::vector<int>& verts = dec.members[c];
+    if (verts.empty()) return;
     const InducedSubgraph sub = induced_subgraph(g, verts);
-    for (int i : detail::cluster_mds(sub.graph)) {
-      out.vertices.push_back(sub.to_parent[i]);
-    }
+    const std::vector<int> s = detail::cluster_mds(sub.graph, ladder,
+                                                   reports[c]);
+    local[c].reserve(s.size());
+    for (int i : s) local[c].push_back(sub.to_parent[i]);
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->run(k, [&](int task, int) { solve_one(task); });
+  } else {
+    for (int c = 0; c < k; ++c) solve_one(c);
+  }
+  for (int c = 0; c < k; ++c) {
+    accumulate_tier(out.stats, reports[c]);
+    out.vertices.insert(out.vertices.end(), local[c].begin(), local[c].end());
   }
   std::sort(out.vertices.begin(), out.vertices.end());
   out.stats.finish();

@@ -10,9 +10,13 @@
 // Exponential worst case — intended for the small-n exact baselines and
 // decomposition clusters only (the benches stay at n <= a few hundred on
 // sparse minor-free instances, where the reductions keep the tree tiny).
+// An optional node budget turns the search anytime: once the budget is
+// spent, open subproblems finish with a greedy min-degree completion (still
+// a valid independent set) and the solver reports exact() == false.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -25,11 +29,19 @@ struct MisResult {
   std::vector<int> set;
 };
 
+/// Search-effort report from a budgeted MIS/VC run: branch nodes explored
+/// and whether the search finished inside its budget (exact result).
+struct MisSearchReport {
+  std::int64_t nodes = 0;
+  bool exact = true;
+};
+
 namespace detail {
 
 class MisSolver {
  public:
-  explicit MisSolver(const Graph& g) : g_(g), alive_(g.n(), 1), deg_(g.n()) {
+  explicit MisSolver(const Graph& g, std::int64_t node_budget = -1)
+      : g_(g), budget_(node_budget), alive_(g.n(), 1), deg_(g.n()) {
     for (int v = 0; v < g.n(); ++v) deg_[v] = g.degree(v);
   }
 
@@ -39,6 +51,9 @@ class MisSolver {
     std::sort(chosen.begin(), chosen.end());
     return chosen;
   }
+
+  std::int64_t nodes() const { return nodes_; }
+  bool exact() const { return exact_; }
 
  private:
   void remove(int v, std::vector<int>& removed) {
@@ -60,9 +75,11 @@ class MisSolver {
     }
   }
 
-  // Solve the remaining graph exactly; appends an optimal set for it to
+  // Solve the remaining graph exactly (or greedily once the node budget is
+  // spent); appends a valid — optimal while exact_ holds — set for it to
   // `chosen`. Mutates alive_/deg_ and restores them before returning.
   int branch(std::vector<int>& chosen) {
+    ++nodes_;
     std::vector<int> removed;
     int taken = 0;
     // Reduce: repeatedly take degree-0/1 vertices (always optimal).
@@ -95,6 +112,28 @@ class MisSolver {
     int best;
     if (pivot < 0) {
       best = taken + paths_and_cycles(chosen);
+    } else if (budget_ >= 0 && nodes_ >= budget_) {
+      // Budget spent: greedy completion. Repeatedly take a min-degree
+      // vertex and delete its closed neighborhood until the leftovers are
+      // paths/cycles (solved exactly). Valid, not necessarily optimal.
+      exact_ = false;
+      int extra = 0;
+      for (;;) {
+        int v = -1;
+        for (int u = 0; u < g_.n(); ++u) {
+          if (alive_[u] && deg_[u] >= 3 && (v < 0 || deg_[u] < deg_[v])) {
+            v = u;
+          }
+        }
+        if (v < 0) break;
+        ++extra;
+        chosen.push_back(v);
+        for (int w : g_.neighbors(v)) {
+          if (alive_[w]) remove(w, removed);
+        }
+        remove(v, removed);
+      }
+      best = taken + extra + paths_and_cycles(chosen);
     } else {
       // Exclude pivot.
       const std::size_t mark = removed.size();
@@ -178,6 +217,9 @@ class MisSolver {
   }
 
   const Graph& g_;
+  std::int64_t budget_;      // max branch nodes; -1 = unbounded
+  std::int64_t nodes_ = 0;   // branch nodes explored
+  bool exact_ = true;        // false once a greedy completion ran
   std::vector<char> alive_;
   std::vector<int> deg_;
 };
@@ -191,11 +233,42 @@ inline MisResult max_independent_set(const Graph& g) {
   return {detail::MisSolver(g).solve()};
 }
 
+/// Budget-bounded variant: explores at most `node_budget` branch nodes,
+/// finishing over-budget subproblems with a greedy min-degree completion
+/// (always a valid independent set). Fills `report` with nodes explored and
+/// whether the search stayed exact. node_budget < 0 means unbounded.
+inline MisResult max_independent_set(const Graph& g, std::int64_t node_budget,
+                                     MisSearchReport* report) {
+  detail::MisSolver solver(g, node_budget);
+  MisResult out{solver.solve()};
+  if (report) {
+    report->nodes = solver.nodes();
+    report->exact = solver.exact();
+  }
+  return out;
+}
+
 /// A minimum vertex cover of g: the complement of a maximum independent set
 /// (König-free exactness — valid on every graph since V \ I covers all
 /// edges and |V| - alpha(G) is optimal).
 inline MisResult min_vertex_cover(const Graph& g) {
   const MisResult mis = max_independent_set(g);
+  std::vector<char> in_set(g.n(), 0);
+  for (int v : mis.set) in_set[v] = 1;
+  MisResult out;
+  for (int v = 0; v < g.n(); ++v) {
+    if (!in_set[v]) out.set.push_back(v);
+  }
+  return out;
+}
+
+/// Budget-bounded vertex cover: complement of the budgeted MIS. The
+/// complement of ANY independent set covers every edge, so the result is a
+/// valid cover even when the search blew its budget (report->exact false —
+/// the cover is then merely not guaranteed minimum).
+inline MisResult min_vertex_cover(const Graph& g, std::int64_t node_budget,
+                                  MisSearchReport* report) {
+  const MisResult mis = max_independent_set(g, node_budget, report);
   std::vector<char> in_set(g.n(), 0);
   for (int v : mis.set) in_set[v] = 1;
   MisResult out;

@@ -16,12 +16,15 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "apps/approx.hpp"
+#include "apps/treewidth.hpp"
 #include "congest/runtime.hpp"
+#include "congest/shard.hpp"
 #include "graph/graph.hpp"
 #include "graph/ops.hpp"
 
@@ -140,32 +143,98 @@ inline CutResult max_cut(const Graph& g, int exact_cap = 26) {
   return out;
 }
 
-/// Corollary 6.3: deterministic (1-eps)-approximate maximum cut. `pool`
-/// shards the cluster-flip gain accumulation; per-task integer partials
-/// summed in task order keep the result bit-identical to the serial sweep.
+namespace detail {
+
+/// The per-cluster max-cut ladder (apps/treewidth.hpp tiers): forest
+/// clusters take BFS-parity sides (exact — trees are bipartite, so the
+/// parity cut is all m edges); medium clusters the treewidth DP when the
+/// capped probe certifies width <= tw_cap; small clusters the gray-code
+/// enumeration (the exact-search tier here — bb_nodes counts its 2^(n-1)-1
+/// single-flip steps, always within "budget"); everything else BFS-parity
+/// plus first-improvement flips (the greedy tier; `passes` reports the
+/// sweep count for the caller's envelope bill).
+inline std::vector<char> cluster_cut(const Graph& h, int exact_cap,
+                                     const LadderConfig& cfg, TierReport& rep,
+                                     int& passes) {
+  rep = TierReport{};
+  passes = 0;
+  if (h.n() == 0) return {};
+  const auto t0 = std::chrono::steady_clock::now();
+  rep.solved = true;
+  std::vector<char> side;
+  NiceTreeDecomposition nd;
+  const int cap = std::min(exact_cap, 30);  // max_cut's own clamp
+  if (cfg.mode == SolverMode::kGreedy) {
+    side = parity_sides(h);
+    passes = local_flip_passes(h, side);
+    rep.tier = SolveTier::kGreedy;
+  } else if (h.m() == h.n() - 1) {  // connected cluster with tree edge count
+    side = parity_sides(h);
+    rep.tier = SolveTier::kForest;
+  } else if (ladder_tw_probe(h, cfg, nd)) {
+    side = tw_max_cut(h, nd).side;
+    rep.tier = SolveTier::kTreewidthDp;
+    rep.width = nd.width;
+  } else if (cfg.mode != SolverMode::kTreewidth && h.n() <= cap) {
+    side = max_cut(h, cap).side;
+    rep.tier = SolveTier::kBranchBound;
+    rep.bb_ran = true;
+    rep.bb_exact = true;
+    rep.bb_nodes = (std::int64_t{1} << (h.n() - 1)) - 1;
+  } else {
+    side = parity_sides(h);
+    passes = local_flip_passes(h, side);
+    rep.tier = SolveTier::kGreedy;
+  }
+  rep.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+  return side;
+}
+
+}  // namespace detail
+
+/// Corollary 6.3: deterministic (1-eps)-approximate maximum cut. Clusters
+/// are cut by the width-gated ladder (parity on forests, treewidth DP,
+/// gray-code enumeration, parity + flips) and the per-cluster solves fan
+/// over `pool` (vertex-disjoint clusters, deterministic ladder, folded in
+/// cluster order), as does the cluster-flip gain accumulation; per-task
+/// integer partials summed in task order keep the result bit-identical to
+/// the serial sweep. `ladder` selects the solver tiers.
 inline CutSolution approx_max_cut(const Graph& g, double eps,
                                   int exact_cap = 24,
-                                  congest::ShardPool* pool = nullptr) {
+                                  congest::ShardPool* pool = nullptr,
+                                  const LadderConfig& ladder = {}) {
   CutSolution out;
   const double eps_star = detail::clamp_eps_star(eps / 2.0);
   const detail::AppDecomposition dec =
       detail::decompose_for_app(g, eps_star, out.stats);
 
   out.side.assign(g.n(), 0);
-  int max_passes = 1;
-  for (const std::vector<int>& verts : dec.members) {
-    if (verts.empty()) continue;
+  const int k = static_cast<int>(dec.members.size());
+  std::vector<std::vector<char>> local(k);
+  std::vector<TierReport> reports(k);
+  std::vector<int> passes(k, 0);
+  const auto solve_one = [&](int c) {
+    const std::vector<int>& verts = dec.members[c];
+    if (verts.empty()) return;
     const InducedSubgraph sub = induced_subgraph(g, verts);
-    std::vector<char> side;
-    if (sub.graph.n() <= exact_cap) {
-      side = max_cut(sub.graph, exact_cap).side;
-    } else {
-      side = detail::parity_sides(sub.graph);
-      max_passes = std::max(max_passes,
-                            detail::local_flip_passes(sub.graph, side));
-    }
-    for (int i = 0; i < sub.graph.n(); ++i) {
-      out.side[sub.to_parent[i]] = side[i];
+    local[c] = detail::cluster_cut(sub.graph, exact_cap, ladder, reports[c],
+                                   passes[c]);
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->run(k, [&](int task, int) { solve_one(task); });
+  } else {
+    for (int c = 0; c < k; ++c) solve_one(c);
+  }
+  int max_passes = 1;
+  for (int c = 0; c < k; ++c) {
+    accumulate_tier(out.stats, reports[c]);
+    max_passes = std::max(max_passes, passes[c]);
+    if (local[c].empty()) continue;
+    const std::vector<int>& verts = dec.members[c];
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      out.side[verts[i]] = local[c][i];
     }
   }
   // Each flip sweep exchanges one side-bit per directed intra-cluster edge.

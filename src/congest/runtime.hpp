@@ -329,11 +329,31 @@ class ChargeScope {
 /// round count, the decomposition's routing term T, the cluster count it
 /// programmed against, and the full phase breakdown. total_rounds must equal
 /// runtime.total() — finish() pins that.
+///
+/// The tier_* / bb_* / solve_ms block is the cluster-ladder audit trail
+/// (apps/treewidth.hpp): every per-cluster solve lands in exactly one tier
+/// (tier_forest + tier_tw_dp + tier_bb + tier_greedy == clusters for the
+/// ladder solvers — scripts/check_bench_json.py re-checks this offline), the
+/// bb_* columns surface branch-and-bound effort so a tier-choice regression
+/// shows up in bench JSON instead of silently, and solve_ms is the summed
+/// wall time of the per-cluster solver calls (a timing, not part of the
+/// deterministic output contract).
 struct SolverStats {
   std::int64_t total_rounds = 0;  // == runtime.total() after finish()
   std::int64_t T = 0;             // routing-structure term of the decomposition
   std::int64_t clusters = 0;      // clusters the solver solved locally
-  Runtime runtime;                // phase-attributed breakdown
+  // Per-tier cluster counts from the width-gated solver ladder.
+  std::int64_t tier_forest = 0;   // exact forest/tree DP
+  std::int64_t tier_tw_dp = 0;    // treewidth DP (computed width <= tw_cap)
+  std::int64_t tier_bb = 0;       // budgeted exact search, budget survived
+  std::int64_t tier_greedy = 0;   // pruned-greedy fallback
+  int max_width_dp = -1;          // widest decomposition a tw-DP solve used
+  // Branch-and-bound effort (MdsBranch / MisSolver searches).
+  std::int64_t bb_runs = 0;        // searches launched
+  std::int64_t bb_nodes = 0;       // total nodes explored
+  std::int64_t bb_exact_runs = 0;  // searches that finished within budget
+  double solve_ms = 0.0;           // summed per-cluster solver wall time
+  Runtime runtime;                 // phase-attributed breakdown
 
   void finish() { total_rounds = runtime.total(); }
 };

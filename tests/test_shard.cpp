@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "apps/approx.hpp"
+#include "apps/domination.hpp"
 #include "apps/maxcut.hpp"
 #include "congest/shard.hpp"
 #include "decomp/edt.hpp"
@@ -400,4 +401,63 @@ TEST_CASE(apps_seam_repair_sharded_bit_identical) {
     }
   }
   CHECK_MSG(seam_messages > 0, "no graph exercised the seam sweeps");
+}
+
+TEST_CASE(apps_cluster_ladder_sharded_bit_identical) {
+  // The per-cluster solver ladder (apps/treewidth.hpp tiers) fans over the
+  // pool: clusters are vertex-disjoint, every tier is deterministic, and the
+  // fold runs in cluster order — so solutions, round charges, AND the
+  // SolverStats tier audit trail must match the serial sweep bit for bit at
+  // every thread count. solve_ms is wall time and deliberately excluded
+  // from the contract.
+  const auto same_tiers = [](const congest::SolverStats& a,
+                             const congest::SolverStats& b,
+                             const std::string& ctx) {
+    CHECK_MSG(a.tier_forest == b.tier_forest && a.tier_tw_dp == b.tier_tw_dp &&
+                  a.tier_bb == b.tier_bb && a.tier_greedy == b.tier_greedy,
+              ctx + ": tier counts diverged");
+    CHECK_MSG(a.max_width_dp == b.max_width_dp, ctx + ": max_width_dp");
+    CHECK_MSG(a.bb_runs == b.bb_runs && a.bb_nodes == b.bb_nodes &&
+                  a.bb_exact_runs == b.bb_exact_runs,
+              ctx + ": search effort diverged");
+  };
+  Rng rng(97);
+  std::int64_t tw_solves = 0;  // non-vacuity: the DP tier must fire somewhere
+  for (const auto& [name, g] :
+       {std::pair<std::string, Graph>{"outerplanar",
+                                      random_maximal_outerplanar(260, rng)},
+        {"grid", grid_graph(13, 11)},
+        {"cactus", random_cactus(300, rng)}}) {
+    const apps::MdsSolution mds_serial =
+        apps::approx_min_dominating_set(g, 0.25, 2);
+    const apps::SetSolution mis_serial =
+        apps::approx_max_independent_set(g, 0.25, 2);
+    const apps::MatchingSolution mm_serial =
+        apps::approx_max_matching(g, 0.25, 2);
+    const apps::CutSolution cut_serial = apps::approx_max_cut(g, 0.25);
+    tw_solves += mds_serial.stats.tier_tw_dp + mis_serial.stats.tier_tw_dp +
+                 cut_serial.stats.tier_tw_dp;
+    for (int threads : kThreadSweep) {
+      ShardPool pool(threads);
+      const std::string ctx = name + " threads=" + std::to_string(threads);
+      const apps::MdsSolution mds =
+          apps::approx_min_dominating_set(g, 0.25, 2, &pool);
+      CHECK_MSG(mds.vertices == mds_serial.vertices, ctx + ": mds set");
+      same_charges(mds_serial.stats.runtime, mds.stats.runtime, ctx + ": mds");
+      same_tiers(mds_serial.stats, mds.stats, ctx + ": mds");
+      const apps::SetSolution mis =
+          apps::approx_max_independent_set(g, 0.25, 2, &pool);
+      CHECK_MSG(mis.vertices == mis_serial.vertices, ctx + ": mis set");
+      same_tiers(mis_serial.stats, mis.stats, ctx + ": mis");
+      const apps::MatchingSolution mm =
+          apps::approx_max_matching(g, 0.25, 2, &pool);
+      CHECK_MSG(mm.edges == mm_serial.edges, ctx + ": matching edges");
+      same_charges(mm_serial.stats.runtime, mm.stats.runtime, ctx + ": mm");
+      const apps::CutSolution cut = apps::approx_max_cut(g, 0.25, 24, &pool);
+      CHECK_MSG(cut.value == cut_serial.value, ctx + ": cut value");
+      CHECK_MSG(cut.side == cut_serial.side, ctx + ": cut sides");
+      same_tiers(cut_serial.stats, cut.stats, ctx + ": cut");
+    }
+  }
+  CHECK_MSG(tw_solves > 0, "no family reached the treewidth-DP tier");
 }
